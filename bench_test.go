@@ -1,0 +1,186 @@
+package equalizer_test
+
+import (
+	"testing"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/exp"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+// benchScale shrinks the grids so one benchmark iteration stays in the
+// hundreds of milliseconds; run cmd/eqbench for full-scale numbers.
+const benchScale = 0.25
+
+func harness() *exp.Harness { return exp.New(exp.Options{GridScale: benchScale}) }
+
+// BenchmarkTable2Registry regenerates Table II (the kernel registry).
+func BenchmarkTable2Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if len(h.Table2()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the static VF / block-count sensitivity study.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2a regenerates the bfs-2 inter-invocation study.
+func BenchmarkFigure2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure2a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2b regenerates the mri_g-1 warp-state time series.
+func BenchmarkFigure2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure2b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the warp-state distribution.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the memory-kernel block sweep.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the performance-mode evaluation.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the energy-mode evaluation.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the VF-residency distribution.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the DynCTA/CCWS comparison.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11a regenerates the bfs-2 adaptivity study.
+func BenchmarkFigure11a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure11a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11b regenerates the spmv adaptivity traces.
+func BenchmarkFigure11b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Figure11b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummary regenerates the headline numbers (Figures 7 + 8).
+func BenchmarkSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness()
+		if _, err := h.Summarize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorCyclesPerSecond measures the raw simulator throughput:
+// SM-domain cycles simulated per wall second on a compute kernel.
+func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.GridBlocks = 30
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m := gpu.MustNew(config.Default(), power.Default(), nil)
+		res, err := m.RunKernel(k, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.SMCycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkEqualizerOverhead measures the wall-time cost of the Equalizer
+// policy hooks relative to the bare simulator.
+func BenchmarkEqualizerOverhead(b *testing.B) {
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.GridBlocks = 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := gpu.MustNew(config.Default(), power.Default(), core.New(core.PerformanceMode))
+		if _, err := m.RunKernel(k, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

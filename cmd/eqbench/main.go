@@ -1,0 +1,182 @@
+// Command eqbench regenerates the tables and figures of the paper's
+// evaluation on the simulated GPU.
+//
+// Usage:
+//
+//	eqbench -exp all            # everything (several minutes)
+//	eqbench -exp fig7           # one experiment
+//	eqbench -exp summary        # headline numbers only
+//	eqbench -exp fig1 -scale .5 # scaled-down grids for a quick look
+//
+// Experiments: table1 table2 table3 fig1 fig2a fig2b fig4 fig5 fig7 fig8
+// fig9 fig10 fig11a fig11b summary all, plus the extension studies
+// `ablation` (runtime-parameter sweeps), `boost` (GPU-Boost-style
+// power-headroom baseline) and `concurrent` (multi-kernel partitioning),
+// which are not part of `all`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"equalizer/internal/exp"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "summary", "experiment id or 'all'")
+		scale   = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+		asJSON  = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost)")
+	)
+	flag.Parse()
+	if *asJSON {
+		h := exp.New(exp.Options{GridScale: *scale})
+		if err := runJSON(h, *expName); err != nil {
+			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	h := exp.New(exp.Options{GridScale: *scale})
+	names := strings.Split(*expName, ",")
+	if *expName == "all" {
+		names = []string{"table1", "table2", "table3", "fig1", "fig2a", "fig2b",
+			"fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "summary"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := run(h, strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eqbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func run(h *exp.Harness, name string) (string, error) {
+	switch name {
+	case "table1":
+		return h.Table1(), nil
+	case "table2":
+		return h.Table2(), nil
+	case "table3":
+		return h.Table3(), nil
+	case "fig1":
+		d, err := h.Figure1()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure1(d), nil
+	case "fig2a":
+		d, err := h.Figure2a()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure2a(d), nil
+	case "fig2b":
+		s, err := h.Figure2b()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderSeries("Figure 2b: mri_g-1 warp-state time series", s), nil
+	case "fig4":
+		rows, err := h.Figure4()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure4(rows), nil
+	case "fig5":
+		rows, err := h.Figure5()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure5(rows), nil
+	case "fig7":
+		rows, err := h.Figure7()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure7(rows), nil
+	case "fig8":
+		rows, err := h.Figure8()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure8(rows), nil
+	case "fig9":
+		rows, err := h.Figure9()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure9(rows), nil
+	case "fig10":
+		rows, err := h.Figure10()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure10(rows), nil
+	case "fig11a":
+		d, err := h.Figure11a()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure11a(d), nil
+	case "fig11b":
+		d, err := h.Figure11b()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderFigure11b(d), nil
+	case "summary":
+		s, err := h.Summarize()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderSummary(s), nil
+	case "ablation":
+		return h.Ablations()
+	case "concurrent":
+		return h.ConcurrentStudy()
+	case "boost":
+		rows, err := h.BoostComparison()
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderBoostComparison(rows), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// runJSON emits the structured form of the data-bearing experiments.
+func runJSON(h *exp.Harness, name string) error {
+	var v interface{}
+	var err error
+	switch name {
+	case "fig7":
+		v, err = h.Figure7()
+	case "fig8":
+		v, err = h.Figure8()
+	case "fig10":
+		v, err = h.Figure10()
+	case "summary":
+		v, err = h.Summarize()
+	case "boost":
+		v, err = h.BoostComparison()
+	default:
+		return fmt.Errorf("experiment %q has no JSON form", name)
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,140 @@
+// Command eqsim runs one kernel (all its invocations) on the simulated GPU
+// under a chosen policy and prints timing, energy and counter statistics.
+//
+// Usage:
+//
+//	eqsim -kernel kmn -policy equalizer-perf
+//	eqsim -kernel lbm -policy static -sm high -mem low
+//	eqsim -kernel bfs-2 -policy equalizer-energy -v
+//
+// Policies: baseline (no tuning), static (with -sm/-mem/-blocks), dynCTA,
+// ccws, equalizer-energy, equalizer-perf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/policy"
+	"equalizer/internal/power"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "cutcp", "kernel name from Table II (e.g. kmn, lbm, bfs-2)")
+		policyName = flag.String("policy", "baseline", "baseline | static | dynCTA | ccws | equalizer-energy | equalizer-perf")
+		smLevel    = flag.String("sm", "normal", "static SM VF level: low | normal | high")
+		memLevel   = flag.String("mem", "normal", "static memory VF level: low | normal | high")
+		blocks     = flag.Int("blocks", 0, "static per-SM block limit (0 = kernel maximum)")
+		verbose    = flag.Bool("v", false, "print per-invocation results")
+		list       = flag.Bool("list", false, "list all kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-12s %-12s %7s %5s %6s %5s\n",
+			"kernel", "app", "category", "frac", "blk", "wcta", "invs")
+		for _, k := range kernels.All() {
+			fmt.Printf("%-10s %-12s %-12s %7.2f %5d %6d %5d\n",
+				k.Name, k.App, k.Category, k.Fraction, k.BlocksPerSM, k.Wcta, k.Invocations)
+		}
+		return
+	}
+
+	k, err := kernels.ByName(*kernelName)
+	if err != nil {
+		fatal(err)
+	}
+
+	pol, static, err := buildPolicy(*policyName, *blocks)
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := gpu.New(config.Default(), power.Default(), pol)
+	if err != nil {
+		fatal(err)
+	}
+	if static {
+		sl, err := parseLevel(*smLevel)
+		if err != nil {
+			fatal(err)
+		}
+		ml, err := parseLevel(*memLevel)
+		if err != nil {
+			fatal(err)
+		}
+		m.SetLevelsImmediate(sl, ml)
+	}
+
+	var totalPS int64
+	var totalJ float64
+	for inv := 0; inv < k.Invocations; inv++ {
+		res, err := m.RunKernel(k, inv)
+		if err != nil {
+			fatal(err)
+		}
+		totalPS += res.TimePS
+		totalJ += res.EnergyJ()
+		if *verbose {
+			fmt.Printf("inv %2d: %9d cycles  %8.3f ms  %8.4f J  IPC %.3f  L1 %.2f  DRAM %.2f\n",
+				inv+1, res.SMCycles, float64(res.TimePS)/1e9, res.EnergyJ(),
+				res.IPC, res.L1HitRate, res.DRAMUtil)
+		}
+	}
+
+	name := "baseline"
+	if pol != nil {
+		name = pol.Name()
+	} else if static {
+		name = fmt.Sprintf("static(sm=%s,mem=%s,blocks=%d)", *smLevel, *memLevel, *blocks)
+	}
+	fmt.Printf("kernel %-8s policy %-24s time %10.3f ms  energy %9.4f J  mean power %6.1f W\n",
+		k.Name, name, float64(totalPS)/1e9, totalJ, totalJ/(float64(totalPS)*1e-12))
+}
+
+func buildPolicy(name string, blocks int) (gpu.Policy, bool, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return nil, false, nil
+	case "static":
+		if blocks > 0 {
+			return policy.NewStaticBlocks(blocks), true, nil
+		}
+		return nil, true, nil
+	case "dyncta":
+		return policy.NewDynCTA(), false, nil
+	case "ccws":
+		return policy.NewCCWS(), false, nil
+	case "equalizer-energy":
+		return core.New(core.EnergyMode), false, nil
+	case "equalizer-perf", "equalizer-performance":
+		return core.New(core.PerformanceMode), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parseLevel(s string) (config.VFLevel, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return config.VFLow, nil
+	case "normal":
+		return config.VFNormal, nil
+	case "high":
+		return config.VFHigh, nil
+	default:
+		return 0, fmt.Errorf("unknown VF level %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eqsim:", err)
+	os.Exit(1)
+}

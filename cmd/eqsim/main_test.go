@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"equalizer/internal/config"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]config.VFLevel{
+		"low": config.VFLow, "Normal": config.VFNormal, "HIGH": config.VFHigh,
+	}
+	for in, want := range cases {
+		got, err := parseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseLevel("turbo"); err == nil {
+		t.Error("parseLevel accepted an unknown level")
+	}
+}
+
+func TestBuildPolicy(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantNil    bool
+		wantStatic bool
+		policyName string
+	}{
+		{"baseline", true, false, ""},
+		{"static", true, true, ""},
+		{"dynCTA", false, false, "dynCTA"},
+		{"ccws", false, false, "CCWS"},
+		{"equalizer-energy", false, false, "equalizer-energy"},
+		{"equalizer-perf", false, false, "equalizer-performance"},
+		{"Equalizer-Performance", false, false, "equalizer-performance"},
+	}
+	for _, tc := range cases {
+		p, static, err := buildPolicy(tc.name, 0)
+		if err != nil {
+			t.Errorf("buildPolicy(%q): %v", tc.name, err)
+			continue
+		}
+		if (p == nil) != tc.wantNil {
+			t.Errorf("buildPolicy(%q): nil=%v, want %v", tc.name, p == nil, tc.wantNil)
+		}
+		if static != tc.wantStatic {
+			t.Errorf("buildPolicy(%q): static=%v, want %v", tc.name, static, tc.wantStatic)
+		}
+		if p != nil && p.Name() != tc.policyName {
+			t.Errorf("buildPolicy(%q): name=%q, want %q", tc.name, p.Name(), tc.policyName)
+		}
+	}
+	if _, _, err := buildPolicy("nonsense", 0); err == nil {
+		t.Error("buildPolicy accepted an unknown policy")
+	}
+}
+
+func TestBuildPolicyStaticBlocks(t *testing.T) {
+	p, static, err := buildPolicy("static", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || !static {
+		t.Fatalf("static with blocks: policy=%v static=%v", p, static)
+	}
+	if p.Name() != "static-blocks" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}

@@ -1,0 +1,49 @@
+// Command eqtrace runs one kernel under Equalizer and dumps the per-epoch
+// counter/decision trace of SM 0 — the raw data behind the adaptivity
+// studies of Figures 2b and 11b.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+func main() {
+	kernelName := flag.String("kernel", "spmv", "kernel to trace")
+	mode := flag.String("mode", "performance", "energy | performance")
+	inv := flag.Int("inv", 0, "invocation to trace (0-based)")
+	flag.Parse()
+
+	k, err := kernels.ByName(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqtrace:", err)
+		os.Exit(1)
+	}
+	m := core.PerformanceMode
+	if *mode == "energy" {
+		m = core.EnergyMode
+	}
+	eq := core.New(m)
+	eq.Record = true
+	machine := gpu.MustNew(config.Default(), power.Default(), eq)
+	res, err := machine.RunKernel(k, *inv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqtrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s inv %d mode %s: %d cycles, %.4f J\n", k.Name, *inv, m, res.SMCycles, res.EnergyJ())
+	fmt.Printf("%5s %8s %8s %8s %8s %7s %7s %7s\n",
+		"epoch", "active", "waiting", "xalu", "xmem", "blocks", "smVF", "memVF")
+	for _, p := range eq.Trace() {
+		fmt.Printf("%5d %8.1f %8.1f %8.1f %8.1f %7d %7s %7s\n",
+			p.Epoch, p.Counters.Active, p.Counters.Waiting, p.Counters.XALU,
+			p.Counters.XMEM, p.TargetBlocks, p.SMLevel, p.MemLevel)
+	}
+}

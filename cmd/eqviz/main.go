@@ -1,0 +1,182 @@
+// Command eqviz renders the paper's evaluation figures as SVG images.
+//
+// Usage:
+//
+//	eqviz -out figures -scale 0.5        # render all supported figures
+//	eqviz -out figures -exp fig7         # one figure
+//
+// Supported: fig2b fig4 fig5 fig7 fig8 fig10 fig11b. Each run simulates the
+// required configurations (see cmd/eqbench for text output of every
+// experiment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"equalizer/internal/exp"
+	"equalizer/internal/svg"
+)
+
+func main() {
+	var (
+		outDir  = flag.String("out", "figures", "output directory for .svg files")
+		expName = flag.String("exp", "all", "figure id or 'all'")
+		scale   = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	h := exp.New(exp.Options{GridScale: *scale})
+
+	figures := []string{"fig2b", "fig4", "fig5", "fig7", "fig8", "fig10", "fig11b"}
+	if *expName != "all" {
+		figures = strings.Split(*expName, ",")
+	}
+	for _, name := range figures {
+		doc, err := render(h, strings.TrimSpace(name))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		path := filepath.Join(*outDir, name+".svg")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func render(h *exp.Harness, name string) (string, error) {
+	switch name {
+	case "fig2b":
+		pts, err := h.Figure2b()
+		if err != nil {
+			return "", err
+		}
+		waiting := svg.Series{Name: "waiting"}
+		xmem := svg.Series{Name: "excess mem"}
+		xalu := svg.Series{Name: "excess compute"}
+		for _, p := range pts {
+			waiting.Values = append(waiting.Values, p.Waiting)
+			xmem.Values = append(xmem.Values, p.XMEM)
+			xalu.Values = append(xalu.Values, p.XALU)
+		}
+		return svg.LineChart("Figure 2b: mri_g-1 warp states over execution", "epoch",
+			[]svg.Series{waiting, xmem, xalu}, 900, 420), nil
+
+	case "fig4":
+		rows, err := h.Figure4()
+		if err != nil {
+			return "", err
+		}
+		var labels []string
+		waiting := svg.Series{Name: "waiting"}
+		xalu := svg.Series{Name: "excess ALU"}
+		xmem := svg.Series{Name: "excess mem"}
+		for _, r := range rows {
+			labels = append(labels, r.Kernel)
+			waiting.Values = append(waiting.Values, r.Waiting)
+			xalu.Values = append(xalu.Values, r.XALU)
+			xmem.Values = append(xmem.Values, r.XMEM)
+		}
+		return svg.BarChart("Figure 4: state of warps (fraction of observations)",
+			labels, []svg.Series{waiting, xalu, xmem}, 1200, 460), nil
+
+	case "fig5":
+		rows, err := h.Figure5()
+		if err != nil {
+			return "", err
+		}
+		var series []svg.Series
+		for _, r := range rows {
+			series = append(series, svg.Series{Name: r.Kernel, Values: r.Speedup})
+		}
+		return svg.LineChart("Figure 5: memory-kernel performance vs thread blocks",
+			"concurrent thread blocks", series, 700, 420), nil
+
+	case "fig7":
+		rows, err := h.Figure7()
+		if err != nil {
+			return "", err
+		}
+		var labels []string
+		eq := svg.Series{Name: "equalizer"}
+		smb := svg.Series{Name: "SM boost"}
+		memb := svg.Series{Name: "mem boost"}
+		for _, r := range rows {
+			labels = append(labels, r.Kernel)
+			eq.Values = append(eq.Values, r.Equalizer)
+			smb.Values = append(smb.Values, r.SMBoost)
+			memb.Values = append(memb.Values, r.MemBoost)
+		}
+		return svg.BarChart("Figure 7: performance mode speedup",
+			labels, []svg.Series{eq, smb, memb}, 1200, 460), nil
+
+	case "fig8":
+		rows, err := h.Figure8()
+		if err != nil {
+			return "", err
+		}
+		var labels []string
+		eq := svg.Series{Name: "equalizer"}
+		sml := svg.Series{Name: "SM low"}
+		meml := svg.Series{Name: "mem low"}
+		for _, r := range rows {
+			labels = append(labels, r.Kernel)
+			eq.Values = append(eq.Values, r.Equalizer)
+			sml.Values = append(sml.Values, r.SMLow)
+			meml.Values = append(meml.Values, r.MemLow)
+		}
+		return svg.BarChart("Figure 8: energy mode performance",
+			labels, []svg.Series{eq, sml, meml}, 1200, 460), nil
+
+	case "fig10":
+		rows, err := h.Figure10()
+		if err != nil {
+			return "", err
+		}
+		var labels []string
+		dyn := svg.Series{Name: "dynCTA"}
+		ccws := svg.Series{Name: "CCWS"}
+		eq := svg.Series{Name: "equalizer"}
+		for _, r := range rows {
+			labels = append(labels, r.Kernel)
+			dyn.Values = append(dyn.Values, r.DynCTA)
+			ccws.Values = append(ccws.Values, r.CCWS)
+			eq.Values = append(eq.Values, r.EqualizerPf)
+		}
+		return svg.BarChart("Figure 10: Equalizer vs DynCTA vs CCWS",
+			labels, []svg.Series{dyn, ccws, eq}, 800, 420), nil
+
+	case "fig11b":
+		d, err := h.Figure11b()
+		if err != nil {
+			return "", err
+		}
+		eqWarps := svg.Series{Name: "equalizer active warps"}
+		eqWait := svg.Series{Name: "equalizer waiting"}
+		dynWarps := svg.Series{Name: "dynCTA active warps"}
+		for _, p := range d.Equalizer {
+			eqWarps.Values = append(eqWarps.Values, p.Counters.Active)
+			eqWait.Values = append(eqWait.Values, p.Counters.Waiting)
+		}
+		for _, p := range d.DynCTA {
+			dynWarps.Values = append(dynWarps.Values, p.Active)
+		}
+		return svg.LineChart("Figure 11b: spmv concurrency adaptation", "epoch",
+			[]svg.Series{eqWarps, eqWait, dynWarps}, 900, 420), nil
+
+	default:
+		return "", fmt.Errorf("unknown figure %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eqviz:", err)
+	os.Exit(1)
+}

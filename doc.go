@@ -1,0 +1,22 @@
+// Package equalizer is a from-scratch Go reproduction of "Equalizer: Dynamic
+// Tuning of GPU Resources for Efficient Execution" (Sethia & Mahlke, MICRO
+// 2014).
+//
+// The module contains a cycle-level Fermi-style GPU simulator (SMs, warp
+// scheduler, L1/L2 caches, interconnect, GDDR5-style memory controller, two
+// DVFS clock domains), an activity-based energy model, the 27-kernel
+// Rodinia/Parboil workload registry of the paper modelled as synthetic warp
+// profiles, the Equalizer runtime itself, the DynCTA and CCWS baselines, and
+// an experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Entry points:
+//
+//	cmd/eqsim     run one kernel under one policy
+//	cmd/eqbench   regenerate the paper's tables and figures
+//	cmd/eqtrace   dump Equalizer's per-epoch counter traces
+//	examples/     four runnable walkthroughs of the public API
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper's numbers.
+package equalizer

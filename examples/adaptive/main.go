@@ -1,0 +1,86 @@
+// Adaptivity walkthrough: the two studies of paper Figure 11. Across
+// invocations, bfs-2's cache behaviour changes between launches and
+// Equalizer re-tunes the block count each time, tracking the per-invocation
+// optimum. Within an invocation, spmv starts cache-contended and turns
+// latency-bound; Equalizer first sheds blocks, then restores them.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+func main() {
+	interInvocation()
+	intraInvocation()
+}
+
+func interInvocation() {
+	fmt.Println("bfs-2 across 12 invocations (times in µs; invocations 8-10 are cache-bound)")
+	k, err := kernels.ByName("bfs-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eq := core.New(core.PerformanceMode)
+	eq.DisableFrequency = true // isolate the block control, as in Figure 11a
+	eqM, err := gpu.New(config.Default(), power.Default(), eq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseM, err := gpu.New(config.Default(), power.Default(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%4s %12s %12s\n", "inv", "baseline", "equalizer")
+	var baseTotal, eqTotal int64
+	for inv := 0; inv < k.Invocations; inv++ {
+		b, err := baseM.RunKernel(k, inv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := eqM.RunKernel(k, inv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseTotal += b.TimePS
+		eqTotal += e.TimePS
+		fmt.Printf("%4d %11.1f %11.1f\n", inv+1, float64(b.TimePS)/1e6, float64(e.TimePS)/1e6)
+	}
+	fmt.Printf("total speedup from block adaptation alone: %.2fx\n\n",
+		float64(baseTotal)/float64(eqTotal))
+}
+
+func intraInvocation() {
+	fmt.Println("spmv within one invocation (per-epoch trace of SM 0)")
+	k, err := kernels.ByName("spmv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	eq := core.New(core.PerformanceMode)
+	eq.Record = true
+	m, err := gpu.New(config.Default(), power.Default(), eq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.RunKernel(k, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%6s %8s %8s %8s\n", "epoch", "waiting", "xmem", "blocks")
+	for _, p := range eq.Trace() {
+		fmt.Printf("%6d %8.1f %8.1f %8d\n", p.Epoch, p.Counters.Waiting, p.Counters.XMEM, p.TargetBlocks)
+	}
+	fmt.Println("blocks drop while Xmem is high (cache thrash), then recover once")
+	fmt.Println("waiting dominates (latency-bound phase needs more parallelism).")
+}

@@ -1,0 +1,64 @@
+// Energy-saving walkthrough: run a compute-bound and a memory-bound kernel
+// under Equalizer's energy mode and show where the savings come from — the
+// under-utilised domain is throttled (memory frequency for compute kernels,
+// SM frequency for memory kernels) while the bottleneck keeps its speed, so
+// performance barely moves (paper Figure 8 and Table I).
+//
+//	go run ./examples/energysave
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+func run(name string, policy gpu.Policy) gpu.Result {
+	k, err := kernels.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := gpu.New(config.Default(), power.Default(), policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Equalizer energy mode: throttle what the kernel does not need")
+	fmt.Println()
+	for _, name := range []string{"cutcp", "lbm"} {
+		base := run(name, nil)
+		saved := run(name, core.New(core.EnergyMode))
+
+		slowdown := 1 - float64(base.TimePS)/float64(saved.TimePS)
+		savings := 1 - saved.EnergyJ()/base.EnergyJ()
+
+		// The residency distribution shows which domain was throttled.
+		total := float64(saved.Residency.SM[0] + saved.Residency.SM[1] + saved.Residency.SM[2])
+		memTotal := float64(saved.Residency.Mem[0] + saved.Residency.Mem[1] + saved.Residency.Mem[2])
+		coreLow := float64(saved.Residency.SM[config.VFLow]) / total
+		memLow := float64(saved.Residency.Mem[config.VFLow]) / memTotal
+
+		fmt.Printf("%-6s baseline %7.4f J -> equalizer %7.4f J  (saved %.1f%%, perf cost %.1f%%)\n",
+			name, base.EnergyJ(), saved.EnergyJ(), savings*100, slowdown*100)
+		fmt.Printf("       time at core-low: %4.1f%%   time at mem-low: %4.1f%%\n",
+			coreLow*100, memLow*100)
+		switch {
+		case memLow > coreLow:
+			fmt.Printf("       -> compute-bound: the memory system was throttled\n\n")
+		default:
+			fmt.Printf("       -> memory-bound: the SMs were throttled\n\n")
+		}
+	}
+}

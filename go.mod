@@ -1,0 +1,3 @@
+module equalizer
+
+go 1.22

@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"equalizer/internal/config"
+)
+
+func smallGeom() config.Cache {
+	return config.Cache{Sets: 4, Ways: 2, LineBytes: 64, MSHRs: 4}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	bad := []config.Cache{
+		{Sets: 0, Ways: 1, LineBytes: 64, MSHRs: 1},
+		{Sets: 3, Ways: 1, LineBytes: 64, MSHRs: 1},
+		{Sets: 4, Ways: 0, LineBytes: 64, MSHRs: 1},
+		{Sets: 4, Ways: 1, LineBytes: 48, MSHRs: 1},
+		{Sets: 4, Ways: 1, LineBytes: 64, MSHRs: 0},
+	}
+	for i, g := range bad {
+		if _, err := New(g); err == nil {
+			t.Errorf("case %d: New accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := MustNew(smallGeom())
+	if r := c.Access(0x100); r != Miss {
+		t.Fatalf("first access = %v, want miss", r)
+	}
+	if r := c.Access(0x104); r != MergedMiss {
+		t.Fatalf("same-line access during miss = %v, want merged", r)
+	}
+	if w := c.Fill(0x100); w != 2 {
+		t.Fatalf("fill waiters = %d, want 2", w)
+	}
+	if r := c.Access(0x13f); r != Hit {
+		t.Fatalf("post-fill access = %v, want hit", r)
+	}
+	if c.OutstandingMisses() != 0 {
+		t.Fatalf("outstanding misses = %d, want 0", c.OutstandingMisses())
+	}
+}
+
+func TestMSHRExhaustionRejects(t *testing.T) {
+	c := MustNew(smallGeom())
+	for i := 0; i < 4; i++ {
+		if r := c.Access(Addr(i * 0x1000)); r != Miss {
+			t.Fatalf("access %d = %v, want miss", i, r)
+		}
+	}
+	if r := c.Access(0x9000); r != Reject {
+		t.Fatalf("access with full MSHRs = %v, want reject", r)
+	}
+	// A merged miss is still possible when its MSHR already exists.
+	if r := c.Access(0x1010); r != MergedMiss {
+		t.Fatalf("merge with full MSHRs = %v, want merged", r)
+	}
+	c.Fill(0x0000)
+	if r := c.Access(0x9000); r != Miss {
+		t.Fatalf("access after fill = %v, want miss", r)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(smallGeom())
+	// Three lines mapping to the same set (set stride = sets*line = 256).
+	a, b, d := Addr(0x000), Addr(0x100), Addr(0x200)
+	for _, x := range []Addr{a, b} {
+		c.Access(x)
+		c.Fill(x)
+	}
+	c.Access(a) // touch a; b becomes LRU
+	c.Access(d)
+	c.Fill(d) // evicts b
+	if !c.Contains(a) {
+		t.Fatal("recently used line a was evicted")
+	}
+	if c.Contains(b) {
+		t.Fatal("LRU line b survived eviction")
+	}
+	if !c.Contains(d) {
+		t.Fatal("filled line d not resident")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestFillWithoutMissPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fill without outstanding miss did not panic")
+		}
+	}()
+	MustNew(smallGeom()).Fill(0x40)
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(smallGeom())
+	c.Access(0x40)
+	c.Fill(0x40)
+	c.Access(0x80)
+	c.Flush()
+	if c.Contains(0x40) {
+		t.Fatal("line survived flush")
+	}
+	if c.OutstandingMisses() != 0 {
+		t.Fatal("MSHRs survived flush")
+	}
+	if r := c.Access(0x40); r != Miss {
+		t.Fatalf("post-flush access = %v, want miss", r)
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c := MustNew(smallGeom())
+	c.Access(0x40) // miss
+	c.Fill(0x40)
+	c.Access(0x40) // hit
+	c.Access(0x40) // hit
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Fills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if hr := s.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate = %g, want 2/3", hr)
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("ResetStats did not clear accesses")
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty stats hit rate should be 0")
+	}
+}
+
+func TestRejectDoesNotCountAsDemand(t *testing.T) {
+	g := smallGeom()
+	g.MSHRs = 1
+	c := MustNew(g)
+	c.Access(0x000)
+	c.Access(0x1000) // reject
+	s := c.Stats()
+	if s.Rejects != 1 {
+		t.Fatalf("rejects = %d, want 1", s.Rejects)
+	}
+	if s.Accesses != 1 {
+		t.Fatalf("demand accesses = %d, want 1", s.Accesses)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := MustNew(smallGeom())
+	if la := c.LineAddr(0x7f); la != 0x40 {
+		t.Fatalf("LineAddr(0x7f) = %#x, want 0x40", uint64(la))
+	}
+	if la := c.LineAddr(0x40); la != 0x40 {
+		t.Fatalf("LineAddr(0x40) = %#x, want 0x40", uint64(la))
+	}
+}
+
+// Property: after any access/fill sequence, outstanding misses never exceed
+// the MSHR count and every valid set holds at most `ways` lines.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		g := smallGeom()
+		c := MustNew(g)
+		rng := rand.New(rand.NewSource(seed))
+		var pending []Addr
+		for _, op := range ops {
+			if op%3 == 0 && len(pending) > 0 {
+				i := rng.Intn(len(pending))
+				c.Fill(pending[i])
+				pending = append(pending[:i], pending[i+1:]...)
+				continue
+			}
+			a := Addr(op) * 16
+			if c.Access(a) == Miss {
+				pending = append(pending, c.LineAddr(a))
+			}
+			if c.OutstandingMisses() > g.MSHRs {
+				return false
+			}
+			if len(pending) != c.OutstandingMisses() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set no larger than one set's capacity, strided to a
+// single set, never misses after warm-up (LRU correctness).
+func TestQuickLRUNoThrashWithinAssociativity(t *testing.T) {
+	f := func(base uint16) bool {
+		c := MustNew(smallGeom()) // 2 ways
+		setStride := Addr(4 * 64) // sets * line
+		a := Addr(base) * setStride
+		b := a + setStride
+		for _, x := range []Addr{a, b} {
+			if c.Access(x) == Miss {
+				c.Fill(x)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			if c.Access(a) != Hit || c.Access(b) != Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

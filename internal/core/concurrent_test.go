@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+)
+
+func TestEqualizerClassifiesConcurrentPartitionsIndependently(t *testing.T) {
+	compute, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheK, err := kernels.ByName("kmn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute.GridBlocks = 56 // 8 blocks on each of 7 SMs
+	cacheK.GridBlocks = 48  // 6 blocks on each of 8 SMs
+
+	eq := New(PerformanceMode)
+	m := machine(t, eq)
+	_, _, err = m.RunConcurrent([]gpu.Task{{Kernel: compute}, {Kernel: cacheK}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The compute partition (SMs 0-6) must keep its full occupancy; the
+	// cache partition (SMs 7-14) must have shed blocks.
+	if tb := m.SM(0).TargetBlocks(); tb != compute.MaxResidentBlocks(48) {
+		t.Errorf("compute partition throttled to %d blocks", tb)
+	}
+	throttled := false
+	for i := 7; i < 15; i++ {
+		if m.SM(i).TargetBlocks() < cacheK.MaxResidentBlocks(48) {
+			throttled = true
+		}
+	}
+	if !throttled {
+		t.Error("cache partition never shed blocks under Equalizer")
+	}
+}
+
+func TestEqualizerConcurrentUsesPerSMWcta(t *testing.T) {
+	a, err := kernels.ByName("cutcp") // Wcta 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernels.ByName("bfs-2") // Wcta 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.GridBlocks, b.GridBlocks = 28, 14
+	eq := New(PerformanceMode)
+	m := machine(t, eq)
+	if _, _, err := m.RunConcurrent([]gpu.Task{{Kernel: a}, {Kernel: b}}); err != nil {
+		t.Fatal(err)
+	}
+	if eq.wcta[0] != 6 || eq.wcta[14] != 16 {
+		t.Fatalf("per-SM Wcta = %d/%d, want 6/16", eq.wcta[0], eq.wcta[14])
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"equalizer/internal/config"
+)
+
+func TestDecideDefinitelyMemoryIntensive(t *testing.T) {
+	d := Decide(Counters{Active: 40, Waiting: 10, XALU: 1, XMEM: 10}, 8, 2)
+	if d.BlockDelta != -1 {
+		t.Fatalf("block delta = %d, want -1 (line 8)", d.BlockDelta)
+	}
+	if d.Tendency != TendMemory {
+		t.Fatalf("tendency = %v, want memory", d.Tendency)
+	}
+}
+
+func TestDecideDefinitelyComputeIntensive(t *testing.T) {
+	d := Decide(Counters{Active: 48, Waiting: 5, XALU: 20, XMEM: 0}, 8, 2)
+	if d.BlockDelta != 0 {
+		t.Fatalf("block delta = %d, want 0 (compute keeps maximum)", d.BlockDelta)
+	}
+	if d.Tendency != TendCompute {
+		t.Fatalf("tendency = %v, want compute", d.Tendency)
+	}
+}
+
+func TestDecideLikelyMemoryIntensive(t *testing.T) {
+	// Xmem above the saturation floor but below Wcta: MemAction without a
+	// block decrease (lines 12-13).
+	d := Decide(Counters{Active: 30, Waiting: 10, XALU: 1, XMEM: 4}, 8, 2)
+	if d.BlockDelta != 0 {
+		t.Fatalf("block delta = %d, want 0", d.BlockDelta)
+	}
+	if d.Tendency != TendMemory {
+		t.Fatalf("tendency = %v, want memory", d.Tendency)
+	}
+}
+
+func TestDecideLatencyBoundIncreasesBlocks(t *testing.T) {
+	// Majority waiting: close to ideal, add work (lines 14-20).
+	d := Decide(Counters{Active: 30, Waiting: 20, XALU: 2, XMEM: 1}, 8, 2)
+	if d.BlockDelta != +1 {
+		t.Fatalf("block delta = %d, want +1", d.BlockDelta)
+	}
+	if d.Tendency != TendCompute {
+		t.Fatalf("tendency = %v, want compute (XALU > XMEM)", d.Tendency)
+	}
+	d = Decide(Counters{Active: 30, Waiting: 20, XALU: 1, XMEM: 2}, 8, 2)
+	if d.Tendency != TendMemory {
+		t.Fatalf("tendency = %v, want memory (XMEM >= XALU)", d.Tendency)
+	}
+}
+
+func TestDecideIdleSMVotesCompute(t *testing.T) {
+	// Load imbalance: an SM with no work votes to finish early (line 21).
+	d := Decide(Counters{}, 8, 2)
+	if d.Tendency != TendCompute || d.BlockDelta != 0 {
+		t.Fatalf("idle decision = %+v, want CompAction only", d)
+	}
+}
+
+func TestDecideDegenerate(t *testing.T) {
+	// Active warps, few waiting, no excess: change nothing.
+	d := Decide(Counters{Active: 30, Waiting: 5, XALU: 1, XMEM: 1}, 8, 2)
+	if d.Tendency != TendNone || d.BlockDelta != 0 {
+		t.Fatalf("degenerate decision = %+v, want none", d)
+	}
+}
+
+func TestDecidePriorityOrder(t *testing.T) {
+	// Xmem > Wcta wins over Xalu > Wcta (the algorithm tests memory first).
+	d := Decide(Counters{Active: 48, Waiting: 0, XALU: 20, XMEM: 10}, 8, 2)
+	if d.Tendency != TendMemory || d.BlockDelta != -1 {
+		t.Fatalf("decision = %+v, want memory/-1 (line 7 first)", d)
+	}
+}
+
+func TestVoteForMatchesTableI(t *testing.T) {
+	cases := []struct {
+		t    Tendency
+		mode Mode
+		want Vote
+	}{
+		{TendCompute, EnergyMode, Vote{SM: +1, Mem: -1}},
+		{TendCompute, PerformanceMode, Vote{SM: +1, Mem: -1}},
+		{TendMemory, EnergyMode, Vote{SM: -1, Mem: +1}},
+		{TendMemory, PerformanceMode, Vote{SM: -1, Mem: +1}},
+		{TendNone, EnergyMode, Vote{}},
+		{TendNone, PerformanceMode, Vote{}},
+	}
+	for _, tc := range cases {
+		if got := VoteFor(tc.t, tc.mode); got != tc.want {
+			t.Errorf("VoteFor(%v, %v) = %+v, want %+v", tc.t, tc.mode, got, tc.want)
+		}
+	}
+	// Table I's asymmetry lives in the mode bounds: energy mode only
+	// throttles, performance mode only boosts.
+	if lo, hi := LevelBounds(EnergyMode); lo != config.VFLow || hi != config.VFNormal {
+		t.Fatalf("energy bounds = [%v,%v]", lo, hi)
+	}
+	if lo, hi := LevelBounds(PerformanceMode); lo != config.VFNormal || hi != config.VFHigh {
+		t.Fatalf("performance bounds = [%v,%v]", lo, hi)
+	}
+	if Clamp(config.VFHigh, EnergyMode) != config.VFNormal {
+		t.Fatal("energy mode must never exceed nominal")
+	}
+	if Clamp(config.VFLow, PerformanceMode) != config.VFNormal {
+		t.Fatal("performance mode must never drop below nominal")
+	}
+	if Clamp(config.VFLow, EnergyMode) != config.VFLow || Clamp(config.VFHigh, PerformanceMode) != config.VFHigh {
+		t.Fatal("in-range levels must pass through Clamp")
+	}
+}
+
+func TestMajorityRequiresStrictMajority(t *testing.T) {
+	// 8 of 15 SMs asking +1 is a majority; 7 is not.
+	votes := make([]Vote, 15)
+	for i := 0; i < 7; i++ {
+		votes[i].SM = +1
+	}
+	if sm, _ := Majority(votes); sm != 0 {
+		t.Fatalf("7/15 votes moved the domain (step %d)", sm)
+	}
+	votes[7].SM = +1
+	if sm, _ := Majority(votes); sm != +1 {
+		t.Fatal("8/15 votes did not move the domain")
+	}
+}
+
+func TestMajorityIndependentDomains(t *testing.T) {
+	votes := make([]Vote, 15)
+	for i := range votes {
+		votes[i] = Vote{SM: -1, Mem: +1}
+	}
+	sm, mem := Majority(votes)
+	if sm != -1 || mem != +1 {
+		t.Fatalf("majority = (%d,%d), want (-1,+1)", sm, mem)
+	}
+}
+
+func TestMajorityConflictingVotesCancel(t *testing.T) {
+	votes := make([]Vote, 14)
+	for i := 0; i < 7; i++ {
+		votes[i].Mem = +1
+	}
+	for i := 7; i < 14; i++ {
+		votes[i].Mem = -1
+	}
+	if _, mem := Majority(votes); mem != 0 {
+		t.Fatalf("split vote moved the memory domain (step %d)", mem)
+	}
+}
+
+// Property: Decide never returns a block delta outside {-1,0,+1} and never
+// pairs a decrease with a compute tendency.
+func TestQuickDecideInvariants(t *testing.T) {
+	f := func(active, waiting, xalu, xmem uint8, wcta uint8) bool {
+		c := Counters{
+			Active:  float64(active % 49),
+			Waiting: float64(waiting % 49),
+			XALU:    float64(xalu % 49),
+			XMEM:    float64(xmem % 49),
+		}
+		w := int(wcta%24) + 1
+		d := Decide(c, w, 2)
+		if d.BlockDelta < -1 || d.BlockDelta > 1 {
+			return false
+		}
+		if d.BlockDelta == -1 && d.Tendency != TendMemory {
+			return false
+		}
+		if d.Tendency == TendNone && d.BlockDelta != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Majority output is always in {-1,0,+1} per domain and is the
+// zero step on an empty vote set.
+func TestQuickMajorityBounded(t *testing.T) {
+	f := func(raw []int8) bool {
+		votes := make([]Vote, len(raw))
+		for i, r := range raw {
+			votes[i] = Vote{SM: int(r%2) - 0, Mem: int(r % 3)}
+			if votes[i].SM > 1 {
+				votes[i].SM = 1
+			}
+		}
+		sm, mem := Majority(votes)
+		return sm >= -1 && sm <= 1 && mem >= -1 && mem <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sm, mem := Majority(nil); sm != 0 || mem != 0 {
+		t.Fatal("empty vote set moved a domain")
+	}
+}
+
+func TestActionTableShape(t *testing.T) {
+	rows := ActionTable()
+	if len(rows) != 6 {
+		t.Fatalf("Table I has %d rows, want 6", len(rows))
+	}
+	// Spot-check the two rows quoted most often in the text.
+	if rows[0] != (ActionRow{"compute", "energy", "maintain", "decrease", "maximum"}) {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[5] != (ActionRow{"cache", "performance", "maintain", "increase", "optimal"}) {
+		t.Fatalf("row 5 = %+v", rows[5])
+	}
+}
+
+func TestModeAndTendencyStrings(t *testing.T) {
+	if EnergyMode.String() != "energy" || PerformanceMode.String() != "performance" {
+		t.Fatal("mode strings wrong")
+	}
+	if TendCompute.String() != "compute" || TendMemory.String() != "memory" || TendNone.String() != "none" {
+		t.Fatal("tendency strings wrong")
+	}
+}
+
+func TestNewWithConfigRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	bad := config.DefaultEqualizer()
+	bad.EpochCycles = 100 // not a multiple of 128
+	NewWithConfig(EnergyMode, bad)
+}
+
+func TestEqualizerName(t *testing.T) {
+	if New(EnergyMode).Name() != "equalizer-energy" {
+		t.Fatal("energy-mode name wrong")
+	}
+	if New(PerformanceMode).Name() != "equalizer-performance" {
+		t.Fatal("performance-mode name wrong")
+	}
+}

@@ -1,0 +1,226 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation on the simulated GPU. Each FigureN /
+// TableN method runs the required kernel×policy×operating-point grid and
+// returns structured data plus a formatted text rendering, so the same code
+// backs the eqbench command, the benchmark suite, and the integration tests.
+package exp
+
+import (
+	"fmt"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/policy"
+	"equalizer/internal/power"
+)
+
+// Options configures a harness.
+type Options struct {
+	// GPU and Power are the machine model; zero values mean the defaults.
+	GPU   *config.GPU
+	Power *power.Config
+	// GridScale multiplies every kernel's grid size (0 < s <= 1 shrinks
+	// runs for smoke tests; 0 means 1.0).
+	GridScale float64
+}
+
+// Harness runs experiments. It memoises (kernel, configuration) results so
+// figures that share runs — e.g. every figure needs the baseline — do not
+// resimulate. Not safe for concurrent use.
+type Harness struct {
+	gpuCfg config.GPU
+	pwrCfg power.Config
+	scale  float64
+	memo   map[runKey]Totals
+}
+
+// New builds a harness.
+func New(opts Options) *Harness {
+	h := &Harness{
+		gpuCfg: config.Default(),
+		pwrCfg: power.Default(),
+		scale:  1.0,
+		memo:   make(map[runKey]Totals),
+	}
+	if opts.GPU != nil {
+		h.gpuCfg = *opts.GPU
+	}
+	if opts.Power != nil {
+		h.pwrCfg = *opts.Power
+	}
+	if opts.GridScale > 0 {
+		h.scale = opts.GridScale
+	}
+	return h
+}
+
+// Totals aggregates a kernel's full launch sequence (all invocations).
+type Totals struct {
+	TimePS    int64
+	EnergyJ   float64
+	SMCycles  int64
+	L1Hit     float64
+	DRAMUtil  float64
+	Residency gpu.Residency
+	// PerInvocationPS holds each invocation's wall time.
+	PerInvocationPS []int64
+}
+
+// Speedup returns base.Time / t.Time.
+func (t Totals) Speedup(base Totals) float64 {
+	return float64(base.TimePS) / float64(t.TimePS)
+}
+
+// EnergyDelta returns t.Energy/base.Energy - 1 (positive = more energy).
+func (t Totals) EnergyDelta(base Totals) float64 {
+	return t.EnergyJ/base.EnergyJ - 1
+}
+
+// EnergySavings returns 1 - t.Energy/base.Energy.
+func (t Totals) EnergySavings(base Totals) float64 {
+	return 1 - t.EnergyJ/base.EnergyJ
+}
+
+// Efficiency returns the paper's energy-efficiency metric: baseline energy
+// divided by this configuration's energy (higher = less energy used).
+func (t Totals) Efficiency(base Totals) float64 {
+	return base.EnergyJ / t.EnergyJ
+}
+
+// Setup names one machine configuration for a run.
+type Setup struct {
+	// Policy is "baseline", "equalizer-energy", "equalizer-perf", "dynCTA",
+	// "ccws", or "blocks=N".
+	Policy string
+	// SM and Mem are the static VF levels applied before the run.
+	SM, Mem config.VFLevel
+	// Blocks pins the per-SM block target when > 0 (with Policy "blocks").
+	Blocks int
+	// DisableFrequency turns off Equalizer's VF control (Figure 11a).
+	DisableFrequency bool
+}
+
+// Baseline is the stock machine: all levels nominal, maximum blocks.
+func Baseline() Setup { return Setup{Policy: "baseline", SM: config.VFNormal, Mem: config.VFNormal} }
+
+// StaticVF is the baseline at a fixed VF operating point.
+func StaticVF(sm, mem config.VFLevel) Setup { return Setup{Policy: "baseline", SM: sm, Mem: mem} }
+
+// StaticBlocks pins the block count at nominal frequency.
+func StaticBlocks(n int) Setup {
+	return Setup{Policy: "blocks", SM: config.VFNormal, Mem: config.VFNormal, Blocks: n}
+}
+
+// EqualizerSetup runs the Equalizer policy in the given mode.
+func EqualizerSetup(mode core.Mode) Setup {
+	name := "equalizer-perf"
+	if mode == core.EnergyMode {
+		name = "equalizer-energy"
+	}
+	return Setup{Policy: name, SM: config.VFNormal, Mem: config.VFNormal}
+}
+
+type runKey struct {
+	kernel string
+	setup  Setup
+}
+
+// buildPolicy constructs the gpu.Policy for a setup; nil means no tuning.
+func (h *Harness) buildPolicy(s Setup) gpu.Policy {
+	switch s.Policy {
+	case "baseline", "":
+		return nil
+	case "blocks":
+		return policy.NewStaticBlocks(s.Blocks)
+	case "equalizer-energy":
+		eq := core.New(core.EnergyMode)
+		eq.DisableFrequency = s.DisableFrequency
+		return eq
+	case "equalizer-perf":
+		eq := core.New(core.PerformanceMode)
+		eq.DisableFrequency = s.DisableFrequency
+		return eq
+	case "dynCTA":
+		return policy.NewDynCTA()
+	case "ccws":
+		return policy.NewCCWS()
+	default:
+		panic(fmt.Sprintf("exp: unknown policy %q", s.Policy))
+	}
+}
+
+// scaled returns k with its grid scaled by the harness factor.
+func (h *Harness) scaled(k kernels.Kernel) kernels.Kernel {
+	if h.scale == 1.0 {
+		return k
+	}
+	return k.WithGridScale(h.scale, h.gpuCfg.NumSMs)
+}
+
+// Run simulates a kernel's full launch sequence under a setup, memoised.
+func (h *Harness) Run(k kernels.Kernel, s Setup) (Totals, error) {
+	key := runKey{kernel: k.Name, setup: s}
+	if t, ok := h.memo[key]; ok {
+		return t, nil
+	}
+	kk := h.scaled(k)
+	m, err := gpu.New(h.gpuCfg, h.pwrCfg, h.buildPolicy(s))
+	if err != nil {
+		return Totals{}, err
+	}
+	m.SetLevelsImmediate(s.SM, s.Mem)
+	var t Totals
+	for inv := 0; inv < kk.Invocations; inv++ {
+		res, err := m.RunKernel(kk, inv)
+		if err != nil {
+			return Totals{}, err
+		}
+		t.TimePS += res.TimePS
+		t.EnergyJ += res.EnergyJ()
+		t.SMCycles += res.SMCycles
+		t.L1Hit = res.L1HitRate // last invocation's value; fine for 1-inv kernels
+		t.DRAMUtil = res.DRAMUtil
+		for i := 0; i < 3; i++ {
+			t.Residency.SM[i] += res.Residency.SM[i]
+			t.Residency.Mem[i] += res.Residency.Mem[i]
+		}
+		t.PerInvocationPS = append(t.PerInvocationPS, res.TimePS)
+	}
+	h.memo[key] = t
+	return t, nil
+}
+
+// MustRun is Run but panics on error; experiment code treats simulator
+// failures as fatal.
+func (h *Harness) MustRun(k kernels.Kernel, s Setup) Totals {
+	t, err := h.Run(k, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BestStaticBlocks sweeps the block count and returns the best-performing
+// count and its totals.
+func (h *Harness) BestStaticBlocks(k kernels.Kernel) (int, Totals) {
+	maxBlocks := k.MaxResidentBlocks(h.gpuCfg.MaxWarpsPerSM)
+	best, bestT := 0, Totals{}
+	for b := 1; b <= maxBlocks; b++ {
+		t := h.MustRun(k, StaticBlocks(b))
+		if best == 0 || t.TimePS < bestT.TimePS {
+			best, bestT = b, t
+		}
+	}
+	return best, bestT
+}
+
+// KernelNames returns the kernels in presentation order (by category).
+func KernelNames() []string {
+	var names []string
+	for _, k := range kernels.All() {
+		names = append(names, k.Name)
+	}
+	return names
+}

@@ -1,0 +1,152 @@
+package gpu
+
+import (
+	"testing"
+
+	"equalizer/internal/kernels"
+)
+
+func task(t *testing.T, name string, grid int) Task {
+	t.Helper()
+	k, err := kernels.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid > 0 {
+		k.GridBlocks = grid
+	}
+	return Task{Kernel: k}
+}
+
+func TestRunConcurrentTwoKernels(t *testing.T) {
+	m := newMachine(t)
+	results, total, err := m.RunConcurrent([]Task{
+		task(t, "cutcp", 16),
+		task(t, "lbm", 49),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d task results, want 2", len(results))
+	}
+	if results[0].Kernel != "cutcp" || results[1].Kernel != "lbm" {
+		t.Fatalf("task order scrambled: %s, %s", results[0].Kernel, results[1].Kernel)
+	}
+	for i, r := range results {
+		if r.TimePS <= 0 {
+			t.Fatalf("task %d has no completion time", i)
+		}
+		if r.TimePS > total.TimePS {
+			t.Fatalf("task %d finished after the machine-wide end", i)
+		}
+	}
+	if total.EnergyJ() <= 0 {
+		t.Fatal("no aggregate energy")
+	}
+}
+
+func TestRunConcurrentPartitionsAreDisjoint(t *testing.T) {
+	m := newMachine(t)
+	if _, _, err := m.RunConcurrent([]Task{
+		task(t, "cutcp", 16),
+		task(t, "lbm", 49),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 covers SMs [0,7), partition 1 covers [7,15).
+	if m.MaxResidentBlocksFor(0) != 8 { // cutcp: 8 blocks
+		t.Fatalf("SM 0 occupancy limit = %d, want cutcp's 8", m.MaxResidentBlocksFor(0))
+	}
+	if m.MaxResidentBlocksFor(14) != 7 { // lbm: 7 blocks
+		t.Fatalf("SM 14 occupancy limit = %d, want lbm's 7", m.MaxResidentBlocksFor(14))
+	}
+	if m.WctaFor(0) != 6 || m.WctaFor(14) != 4 {
+		t.Fatalf("Wcta mapping wrong: %d, %d", m.WctaFor(0), m.WctaFor(14))
+	}
+}
+
+func TestRunConcurrentValidation(t *testing.T) {
+	m := newMachine(t)
+	if _, _, err := m.RunConcurrent(nil); err == nil {
+		t.Fatal("empty task list accepted")
+	}
+	tasks := make([]Task, 16) // more tasks than SMs
+	for i := range tasks {
+		tasks[i] = task(t, "cutcp", 15)
+	}
+	if _, _, err := m.RunConcurrent(tasks); err == nil {
+		t.Fatal("more tasks than SMs accepted")
+	}
+}
+
+func TestRunConcurrentMatchesSoloWhenSingleTask(t *testing.T) {
+	m1 := newMachine(t)
+	solo, err := m1.RunKernel(smallKernel(t, "cutcp", 30), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMachine(t)
+	_, total, err := m2.RunConcurrent([]Task{task(t, "cutcp", 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.TimePS != total.TimePS || solo.EnergyJ() != total.EnergyJ() {
+		t.Fatalf("single-task RunConcurrent diverges from RunKernel: %d vs %d ps",
+			solo.TimePS, total.TimePS)
+	}
+}
+
+func TestConcurrentMemoryKernelsShareBandwidth(t *testing.T) {
+	// Two half-machine memory kernels see the same shared DRAM as one
+	// full-machine kernel with the same total grid, so the times must be
+	// comparable — the bandwidth is one resource either way.
+	m1 := newMachine(t)
+	solo, err := m1.RunKernel(smallKernel(t, "lbm", 98), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMachine(t)
+	_, total, err := m2.RunConcurrent([]Task{
+		task(t, "lbm", 49),
+		task(t, "lbm", 49),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(total.TimePS) / float64(solo.TimePS)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("split/solo time ratio = %.2f; DRAM sharing broken", ratio)
+	}
+}
+
+func TestConcurrentComputePlusMemoryOverlapWell(t *testing.T) {
+	// A compute kernel and a memory kernel stress different resources, so
+	// running them side by side costs much less than serialising them.
+	mc := newMachine(t)
+	comp, err := mc.RunKernel(smallKernel(t, "cutcp", 112), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := newMachine(t)
+	mem, err := mm.RunKernel(smallKernel(t, "lbm", 98), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMachine(t)
+	_, total, err := m2.RunConcurrent([]Task{
+		task(t, "cutcp", 112),
+		task(t, "lbm", 98),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each partition has half the SMs, so the mix cannot beat the serial
+	// full-machine runs outright; but because the two kernels stress
+	// different resources, co-location must cost almost nothing compared
+	// with time-sharing the machine.
+	serial := comp.TimePS + mem.TimePS
+	if float64(total.TimePS) > float64(serial)*1.15 {
+		t.Fatalf("concurrent mix (%d ps) much slower than serial (%d ps)", total.TimePS, serial)
+	}
+}

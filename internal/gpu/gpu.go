@@ -1,0 +1,671 @@
+// Package gpu composes the full simulated machine: 15 SMs on one clock
+// domain; the interconnect, shared L2, memory controller and DRAM on a
+// second, independently scaled domain; a global work distribution engine
+// (GWDE) that hands thread blocks to SMs; and the power meter. A pluggable
+// Policy observes the machine every SM cycle and may retune the number of
+// resident thread blocks and the two VF domains — Equalizer, DynCTA, CCWS
+// and the static operating points are all implemented as Policies.
+package gpu
+
+import (
+	"fmt"
+
+	"equalizer/internal/cache"
+	"equalizer/internal/clock"
+	"equalizer/internal/config"
+	"equalizer/internal/dram"
+	"equalizer/internal/events"
+	"equalizer/internal/icnt"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+	"equalizer/internal/sm"
+	"equalizer/internal/warp"
+)
+
+// memController abstracts the two DRAM models (flat bandwidth gate and
+// banked FR-FCFS); both live in package dram.
+type memController interface {
+	CanAccept() bool
+	Enqueue(line cache.Addr) bool
+	Step(now int64) []cache.Addr
+	Drained() bool
+	Stats() dram.Stats
+}
+
+// newMemController selects the DRAM model from the configuration.
+func newMemController(cfg config.GPU) memController {
+	if cfg.DRAMBanks > 0 {
+		return dram.MustNewBanked(dram.BankedConfig{
+			Banks:           cfg.DRAMBanks,
+			RowBytes:        cfg.DRAMRowBytes,
+			QueueDepth:      cfg.DRAMQueueDepth,
+			RowHitInterval:  cfg.DRAMServiceInterval,
+			RowMissInterval: cfg.DRAMRowMissInterval,
+			Latency:         cfg.DRAMLatency,
+		})
+	}
+	return dram.MustNew(dram.Config{
+		QueueDepth:      cfg.DRAMQueueDepth,
+		ServiceInterval: cfg.DRAMServiceInterval,
+		Latency:         cfg.DRAMLatency,
+	})
+}
+
+// Policy tunes the machine at runtime. Implementations must be deterministic.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Reset prepares the policy for a new kernel invocation; the machine is
+	// already configured with the kernel's occupancy limit.
+	Reset(m *Machine, k kernels.Kernel)
+	// OnSMCycle runs after every SM-domain cycle; smCycle counts cycles
+	// within the current invocation starting at 1.
+	OnSMCycle(m *Machine, now clock.Time, smCycle int64)
+}
+
+// Result summarises one kernel invocation.
+type Result struct {
+	// Kernel and Invocation identify the run.
+	Kernel     string
+	Invocation int
+	// SMCycles is the number of SM-domain cycles elapsed.
+	SMCycles int64
+	// TimePS is wall time elapsed.
+	TimePS int64
+	// Energy is the decomposed energy of the invocation.
+	Energy power.Breakdown
+	// IPC is aggregate issued warp instructions per SM-cycle per SM.
+	IPC float64
+	// L1HitRate is the demand hit rate across all SMs.
+	L1HitRate float64
+	// DRAMUtil is the DRAM bandwidth utilisation.
+	DRAMUtil float64
+	// Residency is wall time spent at each (domain, level).
+	Residency Residency
+}
+
+// Residency records VF-state wall time for Figure 9.
+type Residency struct {
+	SM  [3]int64
+	Mem [3]int64
+}
+
+// EnergyJ returns total energy in joules.
+func (r Result) EnergyJ() float64 { return r.Energy.Total() }
+
+// Machine is the simulated GPU. Not safe for concurrent use; clone one
+// machine per goroutine if parallel sweeps are ever needed.
+type Machine struct {
+	cfg  config.GPU
+	pcfg power.Config
+
+	smDomain  *clock.Domain
+	memDomain *clock.Domain
+
+	sms  []*sm.SM
+	l2   *cache.Cache
+	net  *icnt.Network
+	dram memController
+	// l2Waiters maps a pending L2 line to the SM requests awaiting it.
+	l2Waiters map[cache.Addr][]icnt.Request
+	// l2Replies delays L2 hit responses by the L2 latency.
+	l2Replies events.Queue[icnt.Request]
+
+	meter *power.Meter
+
+	policy Policy
+
+	// Kernel launch state: one partition per concurrently running kernel
+	// (a single partition spanning every SM in the common case).
+	parts []partition
+
+	// Power attribution state.
+	lastSMLevel    config.VFLevel
+	lastMemLevel   config.VFLevel
+	lastSMFlushPS  int64
+	lastMemFlushPS int64
+	activeSMTimePS int64
+	seenSM         power.SMTotals
+	seenMem        power.MemTotals
+	memCycle       int64
+}
+
+// New builds a machine. The policy may be nil (pure baseline, no tuning).
+func New(cfg config.GPU, pcfg power.Config, policy Policy) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:       cfg,
+		pcfg:      pcfg,
+		smDomain:  clock.NewDomain("sm", cfg.SMClockPS, cfg.Modulation),
+		memDomain: clock.NewDomain("mem", cfg.MemClockPS, cfg.Modulation),
+		l2:        cache.MustNew(cfg.L2),
+		net: icnt.MustNew(icnt.Config{
+			NumSMs:        cfg.NumSMs,
+			QueueDepth:    cfg.ICNTQueueDepth,
+			DrainPerCycle: 10,
+		}),
+		dram:         newMemController(cfg),
+		l2Waiters:    make(map[cache.Addr][]icnt.Request),
+		meter:        power.NewMeter(pcfg),
+		policy:       policy,
+		lastSMLevel:  config.VFNormal,
+		lastMemLevel: config.VFNormal,
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		m.sms = append(m.sms, sm.New(cfg, i))
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg config.GPU, pcfg power.Config, policy Policy) *Machine {
+	m, err := New(cfg, pcfg, policy)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the hardware configuration.
+func (m *Machine) Config() config.GPU { return m.cfg }
+
+// NumSMs returns the SM count.
+func (m *Machine) NumSMs() int { return len(m.sms) }
+
+// SM returns the i-th streaming multiprocessor.
+func (m *Machine) SM(i int) *sm.SM { return m.sms[i] }
+
+// SMLevel returns the SM domain's effective VF level.
+func (m *Machine) SMLevel() config.VFLevel { return m.smDomain.Level() }
+
+// MemLevel returns the memory domain's effective VF level.
+func (m *Machine) MemLevel() config.VFLevel { return m.memDomain.Level() }
+
+// Kernel returns the kernel of the current/last invocation (the first
+// partition's kernel when several run concurrently); the zero Kernel before
+// any run.
+func (m *Machine) Kernel() kernels.Kernel {
+	if len(m.parts) == 0 {
+		return kernels.Kernel{}
+	}
+	return m.parts[0].kernel
+}
+
+// MaxResidentBlocks returns the per-SM occupancy limit of the first
+// partition's kernel; use MaxResidentBlocksFor with concurrent kernels.
+func (m *Machine) MaxResidentBlocks() int {
+	if len(m.parts) == 0 {
+		return m.cfg.MaxBlocksPerSM
+	}
+	return m.parts[0].maxRes
+}
+
+// MaxResidentBlocksFor returns the occupancy limit that applies to SM i.
+func (m *Machine) MaxResidentBlocksFor(i int) int {
+	return m.partitionOf(i).maxRes
+}
+
+// WctaFor returns the warps-per-block of the kernel running on SM i.
+func (m *Machine) WctaFor(i int) int { return m.partitionOf(i).wcta }
+
+// partitionOf maps an SM index to its partition.
+func (m *Machine) partitionOf(i int) *partition {
+	for p := range m.parts {
+		if i >= m.parts[p].smLo && i < m.parts[p].smHi {
+			return &m.parts[p]
+		}
+	}
+	// No run configured yet: report hardware defaults.
+	return &partition{maxRes: m.cfg.MaxBlocksPerSM, wcta: 1}
+}
+
+// RequestSMLevel asks the SM-domain voltage regulator to move to the target
+// level; the change takes effect after the configured VRM delay. Requests
+// are clamped to one step per call by the caller's discipline, but any valid
+// target is accepted.
+func (m *Machine) RequestSMLevel(target config.VFLevel) {
+	delay := m.smDomain.CyclesToTime(m.cfg.VRMTransitionCycles)
+	m.smDomain.RequestLevel(target, m.smDomain.Next()+delay)
+}
+
+// RequestMemLevel is RequestSMLevel for the memory system (interconnect, L2,
+// memory controller and DRAM share the domain, Section IV-C).
+func (m *Machine) RequestMemLevel(target config.VFLevel) {
+	delay := m.smDomain.CyclesToTime(m.cfg.VRMTransitionCycles)
+	m.memDomain.RequestLevel(target, m.memDomain.Next()+delay)
+}
+
+// SetLevelsImmediate forces both domains to a level with no regulator delay;
+// used to establish static operating points before a run.
+func (m *Machine) SetLevelsImmediate(smL, memL config.VFLevel) {
+	m.flushPower()
+	m.smDomain.RequestLevel(smL, 0)
+	m.memDomain.RequestLevel(memL, 0)
+	// A tick applies the pending level at the next boundary; levels become
+	// visible to accounting at the next Step. Request with effective time 0
+	// guarantees the very next tick applies them.
+}
+
+// SetTargetBlocks sets SM i's concurrency ceiling, clamped to the kernel's
+// occupancy limit.
+func (m *Machine) SetTargetBlocks(i, n int) {
+	if limit := m.MaxResidentBlocksFor(i); n > limit {
+		n = limit
+	}
+	m.sms[i].SetTargetBlocks(n)
+}
+
+// SetAllTargetBlocks applies SetTargetBlocks to every SM.
+func (m *Machine) SetAllTargetBlocks(n int) {
+	for i := range m.sms {
+		m.SetTargetBlocks(i, n)
+	}
+}
+
+// BlocksRemaining reports grid blocks not yet dispatched, over all
+// partitions.
+func (m *Machine) BlocksRemaining() int {
+	total := 0
+	for p := range m.parts {
+		total += m.parts[p].totalBlocks - m.parts[p].nextBlock
+	}
+	return total
+}
+
+// maxInvocationCycles bounds one invocation as a deadlock backstop.
+const maxInvocationCycles = 30_000_000
+
+// partition is the launch state of one kernel occupying the SM range
+// [smLo, smHi). A single kernel uses one partition over every SM;
+// RunConcurrent splits the machine.
+type partition struct {
+	kernel kernels.Kernel
+	inv    int
+	prof   *warp.Profile
+	wcta   int
+	maxRes int
+	smLo   int
+	smHi   int
+
+	nextBlock   int
+	totalBlocks int
+	// finishPS is the wall time at which the partition's last block
+	// completed; zero while running.
+	finishPS int64
+}
+
+// Task names one kernel invocation for concurrent execution.
+type Task struct {
+	Kernel     kernels.Kernel
+	Invocation int
+}
+
+// ConcurrentAware is an optional policy extension: policies that need the
+// per-partition kernel layout (Equalizer's per-SM W_cta thresholds)
+// implement it in addition to the plain Reset.
+type ConcurrentAware interface {
+	ResetConcurrent(m *Machine, tasks []Task)
+}
+
+// RunKernel simulates one invocation of k and returns its result. Machine
+// state (cache contents aside from L1, VF levels) carries across calls, so
+// consecutive invocations model a real launch sequence. An error is returned
+// only if the invocation exceeds the cycle backstop (a simulator bug).
+func (m *Machine) RunKernel(k kernels.Kernel, inv int) (Result, error) {
+	results, total, err := m.run([]Task{{Kernel: k, Invocation: inv}})
+	if err != nil {
+		return Result{}, err
+	}
+	total.Kernel = results[0].Kernel
+	total.Invocation = results[0].Invocation
+	return total, nil
+}
+
+// RunConcurrent simulates several kernels side by side, each on its own
+// even share of the SMs — the multi-kernel scenario the paper cites as the
+// motivation for per-SM decision making (Section I). It returns one result
+// per task (TimePS is the task's own completion time; energy and the other
+// machine-wide metrics are reported on the aggregate result) plus the
+// machine-wide aggregate.
+func (m *Machine) RunConcurrent(tasks []Task) ([]Result, Result, error) {
+	if len(tasks) == 0 {
+		return nil, Result{}, fmt.Errorf("gpu: RunConcurrent needs at least one task")
+	}
+	if len(tasks) > m.cfg.NumSMs {
+		return nil, Result{}, fmt.Errorf("gpu: %d tasks exceed %d SMs", len(tasks), m.cfg.NumSMs)
+	}
+	return m.run(tasks)
+}
+
+func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
+	m.parts = m.parts[:0]
+	n := m.cfg.NumSMs
+	k := len(tasks)
+	for i, task := range tasks {
+		prof := task.Kernel.Profile(task.Invocation)
+		if err := prof.Validate(); err != nil {
+			return nil, Result{}, fmt.Errorf("gpu: %s invocation %d: %w",
+				task.Kernel.Name, task.Invocation, err)
+		}
+		if len(tasks) > 1 {
+			// Concurrent kernels address disjoint data: shift each
+			// partition's generated warp ids into its own region.
+			salted := *prof
+			salted.WarpIDOffset += i * 8192
+			prof = &salted
+		}
+		m.parts = append(m.parts, partition{
+			kernel:      task.Kernel,
+			inv:         task.Invocation,
+			prof:        prof,
+			wcta:        task.Kernel.Wcta,
+			maxRes:      task.Kernel.MaxResidentBlocks(m.cfg.MaxWarpsPerSM),
+			smLo:        i * n / k,
+			smHi:        (i + 1) * n / k,
+			totalBlocks: task.Kernel.Grid(task.Invocation),
+		})
+	}
+
+	for i, s := range m.sms {
+		s.Reset(false)
+		s.SetTargetBlocks(m.partitionOf(i).maxRes)
+		s.SetIssueFilter(nil)
+		s.SetL1Listener(nil)
+	}
+	m.l2.Flush()
+	m.l2Waiters = make(map[cache.Addr][]icnt.Request)
+	m.l2Replies.Reset()
+
+	if m.policy != nil {
+		m.policy.Reset(m, m.parts[0].kernel)
+		if ca, ok := m.policy.(ConcurrentAware); ok && len(tasks) > 1 {
+			ca.ResetConcurrent(m, tasks)
+		}
+	}
+
+	startPS := int64(m.smDomain.Next())
+	startSMCycles := m.smDomain.Cycle()
+	m.flushPower()
+	m.meter.Reset()
+	startStats := m.aggregateSMStats()
+	startL1 := m.aggregateL1Stats()
+	startDRAM := m.dram.Stats()
+	startRes := m.residency()
+
+	var smCycle int64
+	for {
+		smNext, memNext := m.smDomain.Next(), m.memDomain.Next()
+		if smNext <= memNext {
+			now := m.smDomain.Tick()
+			m.afterSMLevelChange(now)
+			smCycle++
+			period := m.smDomain.CyclesToTime(1)
+			active := 0
+			for _, s := range m.sms {
+				s.Step(now, period)
+				if s.ResidentBlocks() > 0 {
+					active++
+				}
+			}
+			m.activeSMTimePS += int64(period) * int64(active)
+			m.dispatchBlocks(int64(now))
+			if m.policy != nil {
+				m.policy.OnSMCycle(m, now, smCycle)
+			}
+			if smCycle > maxInvocationCycles {
+				return nil, Result{}, fmt.Errorf("gpu: %s invocation %d exceeded %d cycles",
+					m.parts[0].kernel.Name, m.parts[0].inv, maxInvocationCycles)
+			}
+			if m.done(int64(now)) {
+				break
+			}
+		} else {
+			now := m.memDomain.Tick()
+			m.afterMemLevelChange(now)
+			m.memCycle++
+			m.stepMemory(now)
+		}
+	}
+
+	m.flushPower()
+	endPS := int64(m.smDomain.Next())
+	endStats := m.aggregateSMStats()
+	endL1 := m.aggregateL1Stats()
+	endDRAM := m.dram.Stats()
+	endRes := m.residency()
+
+	total := Result{
+		Kernel:     m.parts[0].kernel.Name,
+		Invocation: m.parts[0].inv,
+		SMCycles:   m.smDomain.Cycle() - startSMCycles,
+		TimePS:     endPS - startPS,
+		Energy:     m.meter.Energy(),
+	}
+	cycles := float64(total.SMCycles)
+	if cycles > 0 {
+		issued := float64(endStats.IssuedALU + endStats.IssuedSFU + endStats.IssuedMEM + endStats.IssuedTEX -
+			startStats.IssuedALU - startStats.IssuedSFU - startStats.IssuedMEM - startStats.IssuedTEX)
+		total.IPC = issued / cycles
+	}
+	demand := float64(endL1.Hits + endL1.Misses + endL1.Merged - startL1.Hits - startL1.Misses - startL1.Merged)
+	if demand > 0 {
+		total.L1HitRate = float64(endL1.Hits-startL1.Hits) / demand
+	}
+	if steps := endDRAM.StepCycles - startDRAM.StepCycles; steps > 0 {
+		total.DRAMUtil = float64(endDRAM.BusyCycles-startDRAM.BusyCycles) / float64(steps)
+	}
+	for i := 0; i < 3; i++ {
+		total.Residency.SM[i] = endRes.SM[i] - startRes.SM[i]
+		total.Residency.Mem[i] = endRes.Mem[i] - startRes.Mem[i]
+	}
+
+	results := make([]Result, len(m.parts))
+	for i := range m.parts {
+		pt := &m.parts[i]
+		results[i] = Result{
+			Kernel:     pt.kernel.Name,
+			Invocation: pt.inv,
+			TimePS:     pt.finishPS - startPS,
+			SMCycles:   (pt.finishPS - startPS) / int64(m.cfg.SMClockPS),
+		}
+	}
+	return results, total, nil
+}
+
+// done reports completion and stamps partition finish times.
+func (m *Machine) done(nowPS int64) bool {
+	allDone := true
+	for p := range m.parts {
+		pt := &m.parts[p]
+		if pt.finishPS != 0 {
+			continue
+		}
+		if pt.nextBlock < pt.totalBlocks {
+			allDone = false
+			continue
+		}
+		idle := true
+		for i := pt.smLo; i < pt.smHi; i++ {
+			if !m.sms[i].Idle() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			pt.finishPS = nowPS
+		} else {
+			allDone = false
+		}
+	}
+	if !allDone {
+		return false
+	}
+	return m.net.Drained() && m.dram.Drained() && m.l2Replies.Len() == 0
+}
+
+func (m *Machine) dispatchBlocks(nowPS int64) {
+	_ = nowPS
+	for p := range m.parts {
+		pt := &m.parts[p]
+		if pt.nextBlock >= pt.totalBlocks {
+			continue
+		}
+		for i := pt.smLo; i < pt.smHi; i++ {
+			s := m.sms[i]
+			for pt.nextBlock < pt.totalBlocks && s.WantsBlock(pt.wcta) {
+				s.LaunchBlock(pt.prof, pt.nextBlock, pt.wcta)
+				pt.nextBlock++
+			}
+			if pt.nextBlock >= pt.totalBlocks {
+				break
+			}
+		}
+	}
+}
+
+// stepMemory advances the memory partition by one memory-domain cycle.
+func (m *Machine) stepMemory(now clock.Time) {
+	// 1. DRAM completions fill the L2 and answer every waiting SM.
+	for _, line := range m.dram.Step(m.memCycle) {
+		m.l2.Fill(line)
+		m.seenMem.DRAM++ // counted at service for level attribution
+		for _, req := range m.l2Waiters[line] {
+			m.sms[req.SM].DeliverLine(req.Line, now)
+		}
+		delete(m.l2Waiters, line)
+	}
+
+	// 2. Delayed L2 hit replies reach their SMs.
+	m.l2Replies.PopReady(int64(now), func(r icnt.Request) {
+		m.sms[r.SM].DeliverLine(r.Line, now)
+	})
+
+	// 3. SM outboxes feed the interconnect.
+	for i, s := range m.sms {
+		if s.OutboxFull() && m.net.CanPush(i) {
+			if r, ok := s.TakeOutbox(); ok {
+				m.net.Push(icnt.Request{SM: r.SM, Line: r.Line})
+			}
+		}
+	}
+
+	// 4. The interconnect drains into the L2 / memory controller.
+	hitDelay := int64(now) + int64(m.memDomain.CyclesToTime(m.cfg.L2HitLatency))
+	m.net.Drain(func(r icnt.Request) bool {
+		switch {
+		case m.l2.Contains(r.Line):
+			m.l2.Access(r.Line)
+			m.seenMem.L2++
+			m.l2Replies.Push(hitDelay, r)
+			return true
+		case m.l2.MissPending(r.Line):
+			m.l2.Access(r.Line) // merged
+			m.seenMem.L2++
+			m.l2Waiters[r.Line] = append(m.l2Waiters[r.Line], r)
+			return true
+		case !m.l2.MSHRsFree() || !m.dram.CanAccept():
+			return false // back-pressure: request stays in the network
+		default:
+			m.l2.Access(r.Line) // fresh miss
+			m.seenMem.L2++
+			m.dram.Enqueue(r.Line)
+			m.l2Waiters[r.Line] = append(m.l2Waiters[r.Line], r)
+			return true
+		}
+	})
+}
+
+// --- power attribution ------------------------------------------------------
+
+func (m *Machine) aggregateSMStats() sm.Stats {
+	var total sm.Stats
+	for _, s := range m.sms {
+		st := s.Stats()
+		total.IssuedALU += st.IssuedALU
+		total.IssuedSFU += st.IssuedSFU
+		total.IssuedMEM += st.IssuedMEM
+		total.IssuedTEX += st.IssuedTEX
+		total.L1LineAccesses += st.L1LineAccesses
+	}
+	return total
+}
+
+func (m *Machine) aggregateL1Stats() cache.Stats {
+	var total cache.Stats
+	for _, s := range m.sms {
+		st := s.L1().Stats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Merged += st.Merged
+		total.Accesses += st.Accesses
+	}
+	return total
+}
+
+func (m *Machine) residency() Residency {
+	var r Residency
+	lo, no, hi := m.smDomain.Residency()
+	r.SM = [3]int64{int64(lo), int64(no), int64(hi)}
+	lo, no, hi = m.memDomain.Residency()
+	r.Mem = [3]int64{int64(lo), int64(no), int64(hi)}
+	return r
+}
+
+// afterSMLevelChange flushes accumulated SM activity to the meter when the
+// effective level changed at this tick.
+func (m *Machine) afterSMLevelChange(now clock.Time) {
+	if m.smDomain.Level() == m.lastSMLevel {
+		return
+	}
+	m.flushSMPower(int64(now))
+	m.lastSMLevel = m.smDomain.Level()
+}
+
+func (m *Machine) afterMemLevelChange(now clock.Time) {
+	if m.memDomain.Level() == m.lastMemLevel {
+		return
+	}
+	m.flushMemPower(int64(now))
+	m.lastMemLevel = m.memDomain.Level()
+}
+
+func (m *Machine) flushSMPower(nowPS int64) {
+	cur := m.aggregateSMStats()
+	d := power.SMTotals{
+		ALU:            cur.IssuedALU - m.seenSM.ALU,
+		SFU:            cur.IssuedSFU - m.seenSM.SFU,
+		MEM:            cur.IssuedMEM + cur.IssuedTEX - m.seenSM.MEM,
+		L1:             cur.L1LineAccesses - m.seenSM.L1,
+		ActiveSMTimePS: m.activeSMTimePS,
+		TimePS:         nowPS - m.lastSMFlushPS,
+	}
+	m.meter.AccumulateSM(m.lastSMLevel, d)
+	m.seenSM.ALU, m.seenSM.SFU, m.seenSM.MEM, m.seenSM.L1 =
+		cur.IssuedALU, cur.IssuedSFU, cur.IssuedMEM+cur.IssuedTEX, cur.L1LineAccesses
+	m.activeSMTimePS = 0
+	m.lastSMFlushPS = nowPS
+}
+
+func (m *Machine) flushMemPower(nowPS int64) {
+	d := power.MemTotals{
+		L2:     m.seenMem.L2,
+		DRAM:   m.seenMem.DRAM,
+		TimePS: nowPS - m.lastMemFlushPS,
+	}
+	m.meter.AccumulateMem(m.lastMemLevel, d)
+	m.seenMem.L2, m.seenMem.DRAM = 0, 0
+	m.lastMemFlushPS = nowPS
+}
+
+// flushPower flushes both domains at the current boundaries.
+func (m *Machine) flushPower() {
+	m.flushSMPower(int64(m.smDomain.Next()))
+	m.flushMemPower(int64(m.memDomain.Next()))
+	m.lastSMLevel = m.smDomain.Level()
+	m.lastMemLevel = m.memDomain.Level()
+}

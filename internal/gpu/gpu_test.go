@@ -1,0 +1,222 @@
+package gpu
+
+import (
+	"testing"
+
+	"equalizer/internal/clock"
+	"equalizer/internal/config"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+// smallKernel returns a scaled-down clone of a registry kernel so unit tests
+// stay fast; behaviour (profile shape) is untouched.
+func smallKernel(t *testing.T, name string, grid int) kernels.Kernel {
+	t.Helper()
+	k, err := kernels.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.GridBlocks = grid
+	return k
+}
+
+func newMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(config.Default(), power.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestComputeKernelCompletes(t *testing.T) {
+	m := newMachine(t)
+	k := smallKernel(t, "cutcp", 30)
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SMCycles <= 0 || res.TimePS <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.EnergyJ() <= 0 {
+		t.Fatal("zero energy")
+	}
+	if res.IPC <= 0.3 {
+		t.Fatalf("compute kernel IPC = %.3f, want high utilisation", res.IPC)
+	}
+}
+
+func TestMemoryKernelSaturatesDRAM(t *testing.T) {
+	m := newMachine(t)
+	k := smallKernel(t, "lbm", 210) // two waves of 7 blocks per SM
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Launch ramp and drain tail dilute the whole-run utilisation; 0.75+
+	// still means the device was the bottleneck for the bulk of the run.
+	if res.DRAMUtil < 0.75 {
+		t.Fatalf("lbm DRAM utilisation = %.2f, want near saturation", res.DRAMUtil)
+	}
+	// And it must dwarf a compute kernel's bandwidth demand.
+	m2 := newMachine(t)
+	resC, err := m2.RunKernel(smallKernel(t, "cutcp", 120), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMUtil < 2*resC.DRAMUtil {
+		t.Fatalf("lbm utilisation %.2f not well above compute kernel's %.2f",
+			res.DRAMUtil, resC.DRAMUtil)
+	}
+}
+
+func TestCacheKernelThrashesAtFullConcurrency(t *testing.T) {
+	m := newMachine(t)
+	k := smallKernel(t, "kmn", 30)
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1HitRate > 0.5 {
+		t.Fatalf("kmn L1 hit rate = %.2f at max concurrency, want thrashing", res.L1HitRate)
+	}
+
+	// With one resident block per SM the aggregate working set fits.
+	m2 := newMachine(t)
+	res2 := runWithBlocks(t, m2, k, 1)
+	if res2.L1HitRate < 0.8 {
+		t.Fatalf("kmn L1 hit rate = %.2f at 1 block/SM, want high", res2.L1HitRate)
+	}
+	if res2.TimePS >= res.TimePS {
+		t.Fatalf("kmn not faster with 1 block (%d ps) than max (%d ps)", res2.TimePS, res.TimePS)
+	}
+}
+
+func runWithBlocks(t *testing.T, m *Machine, k kernels.Kernel, blocks int) Result {
+	t.Helper()
+	m.policy = blockPin{blocks}
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSMBoostSpeedsUpComputeNotMemory(t *testing.T) {
+	run := func(name string, grid int, sm, mem config.VFLevel) Result {
+		m := newMachine(t)
+		m.SetLevelsImmediate(sm, mem)
+		res, err := m.RunKernel(smallKernel(t, name, grid), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	baseC := run("cutcp", 30, config.VFNormal, config.VFNormal)
+	boostC := run("cutcp", 30, config.VFHigh, config.VFNormal)
+	speedC := float64(baseC.TimePS) / float64(boostC.TimePS)
+	if speedC < 1.08 {
+		t.Fatalf("cutcp SM-boost speedup = %.3f, want near 1.15", speedC)
+	}
+
+	baseM := run("lbm", 45, config.VFNormal, config.VFNormal)
+	boostM := run("lbm", 45, config.VFHigh, config.VFNormal)
+	speedM := float64(baseM.TimePS) / float64(boostM.TimePS)
+	if speedM > 1.05 {
+		t.Fatalf("lbm SM-boost speedup = %.3f, want ~1 (DRAM-bound)", speedM)
+	}
+
+	memBoostM := run("lbm", 45, config.VFNormal, config.VFHigh)
+	speedMM := float64(baseM.TimePS) / float64(memBoostM.TimePS)
+	if speedMM < 1.08 {
+		t.Fatalf("lbm mem-boost speedup = %.3f, want near 1.15", speedMM)
+	}
+
+	memBoostC := run("cutcp", 30, config.VFNormal, config.VFHigh)
+	speedMC := float64(baseC.TimePS) / float64(memBoostC.TimePS)
+	if speedMC > 1.05 {
+		t.Fatalf("cutcp mem-boost speedup = %.3f, want ~1", speedMC)
+	}
+}
+
+func TestEnergyRespondsToThrottling(t *testing.T) {
+	run := func(sm, mem config.VFLevel) Result {
+		m := newMachine(t)
+		m.SetLevelsImmediate(sm, mem)
+		res, err := m.RunKernel(smallKernel(t, "cutcp", 30), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(config.VFNormal, config.VFNormal)
+	memLow := run(config.VFNormal, config.VFLow)
+	// Compute kernel: lowering memory frequency must save energy with
+	// almost no slowdown (Figure 1d).
+	if memLow.EnergyJ() >= base.EnergyJ() {
+		t.Fatalf("mem-low energy %.3g J not below baseline %.3g J", memLow.EnergyJ(), base.EnergyJ())
+	}
+	slowdown := float64(memLow.TimePS)/float64(base.TimePS) - 1
+	if slowdown > 0.04 {
+		t.Fatalf("mem-low slowed compute kernel by %.1f%%, want negligible", slowdown*100)
+	}
+}
+
+func TestResidencyAccounting(t *testing.T) {
+	m := newMachine(t)
+	m.SetLevelsImmediate(config.VFHigh, config.VFLow)
+	res, err := m.RunKernel(smallKernel(t, "cutcp", 15), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residency.SM[config.VFHigh] == 0 {
+		t.Fatal("no SM-high residency recorded")
+	}
+	if res.Residency.Mem[config.VFLow] == 0 {
+		t.Fatal("no mem-low residency recorded")
+	}
+}
+
+func TestConsecutiveInvocationsIndependentResults(t *testing.T) {
+	m := newMachine(t)
+	k := smallKernel(t, "cutcp", 15)
+	r1, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r1.TimePS) / float64(r2.TimePS)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("identical invocations differ: %d vs %d ps", r1.TimePS, r2.TimePS)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	k := smallKernel(t, "lbm", 30)
+	m1, m2 := newMachine(t), newMachine(t)
+	r1, err := m1.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TimePS != r2.TimePS || r1.SMCycles != r2.SMCycles || r1.EnergyJ() != r2.EnergyJ() {
+		t.Fatalf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+// blockPin pins the target block count for testing.
+type blockPin struct{ n int }
+
+func (p blockPin) Name() string { return "block-pin" }
+func (p blockPin) Reset(m *Machine, _ kernels.Kernel) {
+	m.SetAllTargetBlocks(p.n)
+}
+func (p blockPin) OnSMCycle(*Machine, clock.Time, int64) {}

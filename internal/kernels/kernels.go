@@ -1,0 +1,481 @@
+// Package kernels is the workload registry of the reproduction: the 27
+// Rodinia/Parboil kernels of Table II, each modelled as a synthetic warp
+// profile whose resource-pressure signature matches its paper category.
+//
+// The CUDA binaries themselves cannot run on a pure-Go simulator, so every
+// kernel is a parameterised instruction-mix/address-pattern generator (see
+// package warp). The per-kernel parameters — concurrent blocks per SM, warps
+// per block (W_cta), execution-time fraction within its application, and
+// category — are taken directly from Table II. Grid sizes and instruction
+// counts are scaled so that one invocation spans tens of Equalizer epochs on
+// the simulated machine while remaining fast to simulate.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"equalizer/internal/warp"
+)
+
+// Category classifies a kernel by its bottleneck resource (Section II).
+type Category int
+
+const (
+	// Compute kernels contend for the arithmetic pipelines.
+	Compute Category = iota
+	// Memory kernels saturate DRAM bandwidth.
+	Memory
+	// CacheSensitive kernels contend for L1 data-cache capacity.
+	CacheSensitive
+	// Unsaturated kernels saturate nothing but lean towards one resource.
+	Unsaturated
+)
+
+// String returns the category name used in the paper's figures.
+func (c Category) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Memory:
+		return "memory"
+	case CacheSensitive:
+		return "cache"
+	case Unsaturated:
+		return "unsaturated"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in the paper's presentation order.
+func Categories() []Category {
+	return []Category{Compute, Memory, CacheSensitive, Unsaturated}
+}
+
+// lineBytes is the simulated cache-line size shared with config.Default.
+const lineBytes = 128
+
+// Kernel is one Table II entry plus its synthetic behaviour.
+type Kernel struct {
+	// Name is the figure label (e.g. "bfs-2", "mri_g-1", "cutcp").
+	Name string
+	// App is the host application (e.g. "backprop").
+	App string
+	// KernelID is the kernel's index within the application, per Table II.
+	KernelID int
+	// Category is the Table II type.
+	Category Category
+	// Fraction is the kernel's share of its application's execution time.
+	Fraction float64
+	// BlocksPerSM is the occupancy limit of Table II's "num Blocks" column.
+	BlocksPerSM int
+	// Wcta is the number of warps per thread block.
+	Wcta int
+	// GridBlocks is the total number of thread blocks in one invocation.
+	GridBlocks int
+	// Invocations is how many times the kernel launches back to back.
+	Invocations int
+	// GridBlocksFor overrides GridBlocks per invocation when non-nil.
+	gridFor func(inv int) int
+	// profile builds the warp profile of the given invocation (0-based).
+	profile func(inv int) *warp.Profile
+}
+
+// Profile returns the warp profile of invocation inv (0-based). It panics on
+// an out-of-range invocation, which is a harness bug.
+func (k Kernel) Profile(inv int) *warp.Profile {
+	if inv < 0 || inv >= k.Invocations {
+		panic(fmt.Sprintf("kernels: %s invocation %d out of range [0,%d)", k.Name, inv, k.Invocations))
+	}
+	return k.profile(inv)
+}
+
+// Grid returns the number of thread blocks of invocation inv.
+func (k Kernel) Grid(inv int) int {
+	if k.gridFor != nil {
+		return k.gridFor(inv)
+	}
+	return k.GridBlocks
+}
+
+// WithGridScale returns a copy of the kernel whose per-invocation grid sizes
+// are multiplied by scale (floored at minGrid blocks). The experiment
+// harness uses it to shrink runs for smoke tests without touching profiles.
+func (k Kernel) WithGridScale(scale float64, minGrid int) Kernel {
+	if minGrid < 1 {
+		minGrid = 1
+	}
+	inner := k // capture the original grid function
+	out := k
+	out.gridFor = func(inv int) int {
+		g := int(float64(inner.Grid(inv)) * scale)
+		if g < minGrid {
+			g = minGrid
+		}
+		return g
+	}
+	out.GridBlocks = out.gridFor(0)
+	return out
+}
+
+// MaxResidentBlocks returns the per-SM concurrency limit given the hardware
+// warp budget: min(BlocksPerSM, maxWarps/Wcta), at least 1.
+func (k Kernel) MaxResidentBlocks(maxWarps int) int {
+	byWarps := maxWarps / k.Wcta
+	if byWarps < 1 {
+		byWarps = 1
+	}
+	if k.BlocksPerSM < byWarps {
+		return k.BlocksPerSM
+	}
+	return byWarps
+}
+
+// --- profile templates -----------------------------------------------------
+
+// computeProfile: dense dependent ALU work with occasional loads. Many warps
+// are ready for the ALU pipeline every cycle, so Xalu grows far beyond Wcta.
+func computeProfile(insts, aluGap, memEvery int, sfuEvery int) func(int) *warp.Profile {
+	return func(int) *warp.Profile {
+		return &warp.Profile{
+			LineBytes: lineBytes,
+			Phases: []warp.Phase{{
+				Insts: insts, ALUGap: aluGap, MemEvery: memEvery,
+				SFUEvery: sfuEvery, SFUGap: 20,
+				Pattern: warp.SharedReadOnly, SharedLines: 512,
+			}},
+		}
+	}
+}
+
+// memoryProfile: streaming loads that miss all caches and saturate DRAM
+// bandwidth; the LSU backs up and ready memory warps pile into Xmem.
+func memoryProfile(insts, memEvery, aluGap int) func(int) *warp.Profile {
+	return divergentMemoryProfile(insts, memEvery, aluGap, 0)
+}
+
+// divergentMemoryProfile is memoryProfile with uncoalesced accesses touching
+// 1+extra lines; low-occupancy streaming kernels (cfd-2) use it so that a
+// handful of warps already saturates the board bandwidth (Figure 5).
+func divergentMemoryProfile(insts, memEvery, aluGap, extra int) func(int) *warp.Profile {
+	return func(int) *warp.Profile {
+		return &warp.Profile{
+			LineBytes: lineBytes,
+			Phases: []warp.Phase{{
+				Insts: insts, MemEvery: memEvery, ALUGap: aluGap,
+				Pattern: warp.Streaming, ExtraLines: extra,
+			}},
+		}
+	}
+}
+
+// textureMemoryProfile streams through the texture unit. The deep texture
+// queue hides memory back-pressure from the LD/ST pipeline, so Equalizer
+// cannot detect the kernel's bandwidth saturation — the leuko-1 failure the
+// paper reports in Section V-B.
+func textureMemoryProfile(insts, memEvery, aluGap int) func(int) *warp.Profile {
+	return func(int) *warp.Profile {
+		return &warp.Profile{
+			LineBytes: lineBytes,
+			Phases: []warp.Phase{{
+				Insts: insts, MemEvery: memEvery, ALUGap: aluGap,
+				Pattern: warp.Streaming, Texture: true,
+			}},
+		}
+	}
+}
+
+// cacheProfile: each warp cycles over a private working set of wsLines
+// lines. The aggregate footprint fits the 256-line L1 only at reduced
+// concurrency, producing the cache-thrashing cliff of Figure 1e.
+func cacheProfile(insts, memEvery, wsLines, extra int) func(int) *warp.Profile {
+	return func(int) *warp.Profile {
+		return &warp.Profile{
+			LineBytes: lineBytes,
+			Phases: []warp.Phase{{
+				Insts: insts, MemEvery: memEvery, ALUGap: 1,
+				Pattern: warp.PrivateReuse, WorkingSetLines: wsLines,
+				ExtraLines: extra,
+			}},
+		}
+	}
+}
+
+// unsaturatedProfile: moderate-rate loads that hit in the L2 plus spaced
+// ALU work; neither pipeline saturates but the mix leans one way.
+func unsaturatedProfile(insts, memEvery, aluGap, sharedLines int) func(int) *warp.Profile {
+	return func(int) *warp.Profile {
+		return &warp.Profile{
+			LineBytes: lineBytes,
+			Phases: []warp.Phase{{
+				Insts: insts, MemEvery: memEvery, ALUGap: aluGap,
+				Pattern: warp.SharedReadOnly, SharedLines: sharedLines,
+			}},
+		}
+	}
+}
+
+// bfs2Profile models the breadth-first-search kernel whose per-invocation
+// behaviour drives Figures 2a and 11a: mid-run invocations (8-10, 1-based)
+// are strongly cache-bound and favour one resident block, while the rest
+// favour maximum concurrency.
+func bfs2Profile(inv int) *warp.Profile {
+	if inv >= 7 && inv <= 9 { // invocations 8-10, 1-based
+		return &warp.Profile{
+			LineBytes: lineBytes,
+			Phases: []warp.Phase{{
+				Insts: 700, MemEvery: 2, ALUGap: 1,
+				Pattern: warp.PrivateReuse, WorkingSetLines: 12,
+				ExtraLines: 2,
+			}},
+		}
+	}
+	return &warp.Profile{
+		LineBytes: lineBytes,
+		Phases: []warp.Phase{{
+			Insts: 240, MemEvery: 4, ALUGap: 2,
+			Pattern: warp.SharedReadOnly, SharedLines: 2200,
+		}},
+	}
+}
+
+// bfs2Grid shrinks the frontier for the cache-bound middle invocations.
+func bfs2Grid(inv int) int {
+	if inv >= 7 && inv <= 9 {
+		return 30
+	}
+	return 90
+}
+
+// mrig1Profile has the intra-invocation variation of Figure 2b: long
+// latency-bound stretches punctuated by two bursts of memory-issue pressure.
+func mrig1Profile(int) *warp.Profile {
+	quiet := warp.Phase{
+		Insts: 220, MemEvery: 5, ALUGap: 5,
+		Pattern: warp.SharedReadOnly, SharedLines: 3000,
+	}
+	burst := warp.Phase{
+		Insts: 120, MemEvery: 1, ALUGap: 1,
+		Pattern: warp.Streaming,
+	}
+	return &warp.Profile{
+		LineBytes: lineBytes,
+		Phases:    []warp.Phase{quiet, burst, quiet, burst, quiet},
+	}
+}
+
+// spmvProfile: an initial cache-contended phase followed by latency-bound
+// streaming compute, matching the adaptation study of Figure 11b.
+func spmvProfile(int) *warp.Profile {
+	return &warp.Profile{
+		LineBytes: lineBytes,
+		Phases: []warp.Phase{
+			{
+				Insts: 300, MemEvery: 2, ALUGap: 1,
+				Pattern: warp.PrivateReuse, WorkingSetLines: 18,
+				ExtraLines: 5,
+			},
+			{
+				Insts: 1200, MemEvery: 4, ALUGap: 2,
+				Pattern: warp.SharedReadOnly, SharedLines: 2048,
+			},
+		},
+	}
+}
+
+// prtcl2Profile: compute-bound with severe load imbalance — one long-tail
+// block runs ~20x longer than the rest (Section V-B: "only one block runs
+// for more than 95% of the time").
+func prtcl2Profile(int) *warp.Profile {
+	return computeProfile(700, 1, 40, 0)(0)
+}
+
+// kmnProfile models kmeans with the large input of Rogers et al. — the most
+// cache-sensitive kernel in the study (2.84x in performance mode). A short
+// phase whose aggregate working set spills past the L2 (DRAM-bound thrash)
+// blends with a longer phase that thrashes the L1 but stays L2-resident, so
+// the full-occupancy slowdown lands near the paper's ~3x while one resident
+// block per SM makes both phases L1-resident.
+func kmnProfile(int) *warp.Profile {
+	return &warp.Profile{
+		LineBytes: lineBytes,
+		Phases: []warp.Phase{
+			{
+				Insts: 80, MemEvery: 2, ALUGap: 1,
+				Pattern: warp.PrivateReuse, WorkingSetLines: 27, ExtraLines: 8,
+			},
+			{
+				Insts: 720, MemEvery: 2, ALUGap: 1,
+				Pattern: warp.PrivateReuse, WorkingSetLines: 18, ExtraLines: 8,
+			},
+		},
+	}
+}
+
+// --- registry ---------------------------------------------------------------
+
+var registry = buildRegistry()
+
+func buildRegistry() []Kernel {
+	ks := []Kernel{
+		// Unsaturated: backprop kernel 1 — memory-leaning.
+		{Name: "bp-1", App: "backprop", KernelID: 1, Category: Unsaturated, Fraction: 0.57,
+			BlocksPerSM: 6, Wcta: 8, GridBlocks: 180, Invocations: 1,
+			profile: unsaturatedProfile(300, 4, 4, 2500)},
+		// Cache: backprop kernel 2.
+		{Name: "bp-2", App: "backprop", KernelID: 2, Category: CacheSensitive, Fraction: 0.43,
+			BlocksPerSM: 6, Wcta: 8, GridBlocks: 180, Invocations: 1,
+			profile: cacheProfile(650, 3, 18, 8)},
+		// Cache: bfs — labelled bfs-2 in every figure of the paper.
+		{Name: "bfs-2", App: "bfs", KernelID: 1, Category: CacheSensitive, Fraction: 0.95,
+			BlocksPerSM: 3, Wcta: 16, GridBlocks: 90, Invocations: 12,
+			gridFor: bfs2Grid, profile: bfs2Profile},
+		// Memory: cfd kernels.
+		{Name: "cfd-1", App: "cfd", KernelID: 1, Category: Memory, Fraction: 0.85,
+			BlocksPerSM: 3, Wcta: 16, GridBlocks: 90, Invocations: 1,
+			profile: memoryProfile(90, 3, 2)},
+		{Name: "cfd-2", App: "cfd", KernelID: 2, Category: Memory, Fraction: 0.15,
+			BlocksPerSM: 3, Wcta: 6, GridBlocks: 135, Invocations: 1,
+			profile: divergentMemoryProfile(120, 2, 1, 2)},
+		// Compute: cutcp.
+		{Name: "cutcp", App: "cutcp", KernelID: 1, Category: Compute, Fraction: 1.00,
+			BlocksPerSM: 8, Wcta: 6, GridBlocks: 240, Invocations: 1,
+			profile: computeProfile(600, 1, 50, 9)},
+		// histo: one kernel per category.
+		{Name: "histo-1", App: "histo", KernelID: 1, Category: CacheSensitive, Fraction: 0.30,
+			BlocksPerSM: 3, Wcta: 16, GridBlocks: 90, Invocations: 1,
+			profile: cacheProfile(600, 2, 12, 2)},
+		{Name: "histo-2", App: "histo", KernelID: 2, Category: Compute, Fraction: 0.53,
+			BlocksPerSM: 3, Wcta: 24, GridBlocks: 60, Invocations: 1,
+			profile: computeProfile(650, 1, 60, 0)},
+		{Name: "histo-3", App: "histo", KernelID: 3, Category: Memory, Fraction: 0.17,
+			BlocksPerSM: 3, Wcta: 16, GridBlocks: 90, Invocations: 1,
+			profile: memoryProfile(80, 2, 2)},
+		// Cache: kmeans with the large input of Rogers et al. — the most
+		// cache-sensitive kernel (2.84x in performance mode).
+		{Name: "kmn", App: "kmeans", KernelID: 1, Category: CacheSensitive, Fraction: 0.24,
+			BlocksPerSM: 6, Wcta: 8, GridBlocks: 180, Invocations: 1,
+			profile: kmnProfile},
+		// Compute: lavaMD (low occupancy, pure compute).
+		{Name: "lavaMD", App: "lavaMD", KernelID: 1, Category: Compute, Fraction: 1.00,
+			BlocksPerSM: 4, Wcta: 4, GridBlocks: 120, Invocations: 1,
+			profile: computeProfile(900, 1, 0, 7)},
+		// Memory: lbm — the canonical streaming kernel.
+		{Name: "lbm", App: "lbm", KernelID: 1, Category: Memory, Fraction: 1.00,
+			BlocksPerSM: 7, Wcta: 4, GridBlocks: 210, Invocations: 1,
+			profile: memoryProfile(100, 2, 1)},
+		// leukocyte: memory + compute kernels.
+		{Name: "leuko-1", App: "leukocyte", KernelID: 1, Category: Memory, Fraction: 0.64,
+			BlocksPerSM: 6, Wcta: 6, GridBlocks: 180, Invocations: 1,
+			profile: textureMemoryProfile(102, 6, 1)},
+		{Name: "leuko-2", App: "leukocyte", KernelID: 2, Category: Compute, Fraction: 0.36,
+			BlocksPerSM: 3, Wcta: 5, GridBlocks: 90, Invocations: 1,
+			profile: computeProfile(800, 1, 45, 8)},
+		// mri-g: three kernels, two unsaturated with phase behaviour.
+		{Name: "mri_g-1", App: "mri-g", KernelID: 1, Category: Unsaturated, Fraction: 0.68,
+			BlocksPerSM: 8, Wcta: 2, GridBlocks: 240, Invocations: 1,
+			profile: mrig1Profile},
+		{Name: "mri_g-2", App: "mri-g", KernelID: 2, Category: Unsaturated, Fraction: 0.07,
+			BlocksPerSM: 3, Wcta: 8, GridBlocks: 90, Invocations: 1,
+			profile: unsaturatedProfile(350, 3, 3, 2000)},
+		{Name: "mri_g-3", App: "mri-g", KernelID: 3, Category: Compute, Fraction: 0.13,
+			BlocksPerSM: 6, Wcta: 8, GridBlocks: 180, Invocations: 1,
+			profile: computeProfile(550, 1, 55, 0)},
+		// Compute: mri-q.
+		{Name: "mri-q", App: "mri-q", KernelID: 1, Category: Compute, Fraction: 1.00,
+			BlocksPerSM: 5, Wcta: 8, GridBlocks: 150, Invocations: 1,
+			profile: computeProfile(620, 1, 0, 10)},
+		// Cache: mummer — irregular tree walks, divergent accesses.
+		{Name: "mmer", App: "mummer", KernelID: 1, Category: CacheSensitive, Fraction: 1.00,
+			BlocksPerSM: 6, Wcta: 8, GridBlocks: 180, Invocations: 1,
+			profile: cacheProfile(500, 2, 18, 8)},
+		// particle filter: cache + compute kernels.
+		{Name: "prtcl-1", App: "particle", KernelID: 1, Category: CacheSensitive, Fraction: 0.45,
+			BlocksPerSM: 3, Wcta: 16, GridBlocks: 90, Invocations: 1,
+			profile: cacheProfile(550, 2, 12, 2)},
+		{Name: "prtcl-2", App: "particle", KernelID: 2, Category: Compute, Fraction: 0.35,
+			BlocksPerSM: 3, Wcta: 6, GridBlocks: 16, Invocations: 1,
+			profile: prtcl2Profile},
+		// Compute: pathfinder.
+		{Name: "pf", App: "pathfinder", KernelID: 1, Category: Compute, Fraction: 1.00,
+			BlocksPerSM: 6, Wcta: 8, GridBlocks: 180, Invocations: 1,
+			profile: computeProfile(580, 1, 65, 0)},
+		// Unsaturated: sad.
+		{Name: "sad-1", App: "sad", KernelID: 1, Category: Unsaturated, Fraction: 0.85,
+			BlocksPerSM: 8, Wcta: 2, GridBlocks: 240, Invocations: 1,
+			profile: unsaturatedProfile(400, 5, 2, 128)},
+		// Compute: sgemm.
+		{Name: "sgemm", App: "sgemm", KernelID: 1, Category: Compute, Fraction: 1.00,
+			BlocksPerSM: 6, Wcta: 4, GridBlocks: 180, Invocations: 1,
+			profile: computeProfile(700, 1, 35, 0)},
+		// Unsaturated: streamcluster.
+		{Name: "sc", App: "streamcluster", KernelID: 1, Category: Unsaturated, Fraction: 1.00,
+			BlocksPerSM: 3, Wcta: 16, GridBlocks: 90, Invocations: 1,
+			profile: unsaturatedProfile(320, 4, 2, 192)},
+		// Compute (Table II) with an early cache-contended phase (Fig 11b).
+		{Name: "spmv", App: "spmv", KernelID: 1, Category: Compute, Fraction: 1.00,
+			BlocksPerSM: 8, Wcta: 6, GridBlocks: 240, Invocations: 1,
+			profile: spmvProfile},
+		// Unsaturated: stencil — very sparse in both pipelines.
+		{Name: "stncl", App: "stencil", KernelID: 1, Category: Unsaturated, Fraction: 1.00,
+			BlocksPerSM: 5, Wcta: 4, GridBlocks: 150, Invocations: 1,
+			profile: unsaturatedProfile(380, 7, 6, 224)},
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		if ks[i].Category != ks[j].Category {
+			return ks[i].Category < ks[j].Category
+		}
+		return ks[i].Name < ks[j].Name
+	})
+	return ks
+}
+
+// All returns every kernel, grouped by category in presentation order.
+// The returned slice is shared; callers must not modify it.
+func All() []Kernel { return registry }
+
+// ByCategory returns the kernels of one category.
+func ByCategory(c Category) []Kernel {
+	var out []Kernel
+	for _, k := range registry {
+		if k.Category == c {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// aliases maps alternate figure labels to registry names.
+var aliases = map[string]string{
+	"bfs":        "bfs-2",
+	"bfs-1":      "bfs-2",
+	"pathfinder": "pf",
+	"kmeans":     "kmn",
+	"mummer":     "mmer",
+	"stencil":    "stncl",
+}
+
+// ByName finds a kernel by its figure label (or a common alias).
+func ByName(name string) (Kernel, error) {
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	for _, k := range registry {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// CacheStudyKernels returns the kernel set of Figure 10 (the DynCTA/CCWS
+// comparison): the cache-sensitive kernels plus spmv, whose first phase is
+// cache-contended.
+func CacheStudyKernels() []Kernel {
+	out := ByCategory(CacheSensitive)
+	if spmv, err := ByName("spmv"); err == nil {
+		out = append(out, spmv)
+	}
+	return out
+}

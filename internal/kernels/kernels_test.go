@@ -1,0 +1,213 @@
+package kernels
+
+import (
+	"testing"
+
+	"equalizer/internal/warp"
+)
+
+func TestRegistryHas27Kernels(t *testing.T) {
+	if n := len(All()); n != 27 {
+		t.Fatalf("registry holds %d kernels, want 27 (Table II)", n)
+	}
+}
+
+func TestCategoryPopulationMatchesTableII(t *testing.T) {
+	want := map[Category]int{
+		Compute:        10,
+		Memory:         5,
+		CacheSensitive: 6,
+		Unsaturated:    6,
+	}
+	for cat, n := range want {
+		if got := len(ByCategory(cat)); got != n {
+			t.Errorf("%v kernels = %d, want %d", cat, got, n)
+		}
+	}
+}
+
+func TestTableIIParameters(t *testing.T) {
+	cases := []struct {
+		name     string
+		cat      Category
+		blocks   int
+		wcta     int
+		fraction float64
+	}{
+		{"bfs-2", CacheSensitive, 3, 16, 0.95},
+		{"cutcp", Compute, 8, 6, 1.00},
+		{"lbm", Memory, 7, 4, 1.00},
+		{"kmn", CacheSensitive, 6, 8, 0.24},
+		{"mri_g-1", Unsaturated, 8, 2, 0.68},
+		{"spmv", Compute, 8, 6, 1.00},
+		{"histo-2", Compute, 3, 24, 0.53},
+		{"sad-1", Unsaturated, 8, 2, 0.85},
+	}
+	for _, tc := range cases {
+		k, err := ByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if k.Category != tc.cat || k.BlocksPerSM != tc.blocks || k.Wcta != tc.wcta || k.Fraction != tc.fraction {
+			t.Errorf("%s = {cat:%v blocks:%d wcta:%d frac:%g}, want {%v %d %d %g}",
+				tc.name, k.Category, k.BlocksPerSM, k.Wcta, k.Fraction,
+				tc.cat, tc.blocks, tc.wcta, tc.fraction)
+		}
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, k := range All() {
+		for inv := 0; inv < k.Invocations; inv++ {
+			p := k.Profile(inv)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s invocation %d: invalid profile: %v", k.Name, inv, err)
+			}
+			if k.Grid(inv) <= 0 {
+				t.Errorf("%s invocation %d: non-positive grid", k.Name, inv)
+			}
+		}
+	}
+}
+
+func TestProfileOutOfRangePanics(t *testing.T) {
+	k, _ := ByName("cutcp")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range invocation did not panic")
+		}
+	}()
+	k.Profile(1)
+}
+
+func TestMaxResidentBlocksCapsAtWarpBudget(t *testing.T) {
+	k, _ := ByName("histo-2") // 3 blocks x 24 warps would exceed 48 warps
+	if got := k.MaxResidentBlocks(48); got != 2 {
+		t.Fatalf("histo-2 resident blocks = %d, want 2 (48-warp budget)", got)
+	}
+	k2, _ := ByName("cutcp") // 8 x 6 = 48 fits exactly
+	if got := k2.MaxResidentBlocks(48); got != 8 {
+		t.Fatalf("cutcp resident blocks = %d, want 8", got)
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for _, alias := range []string{"bfs", "bfs-1", "pathfinder", "kmeans", "mummer", "stencil"} {
+		if _, err := ByName(alias); err != nil {
+			t.Errorf("alias %q not resolved: %v", alias, err)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestBFS2InvocationVariation(t *testing.T) {
+	k, _ := ByName("bfs-2")
+	if k.Invocations != 12 {
+		t.Fatalf("bfs-2 invocations = %d, want 12", k.Invocations)
+	}
+	early := k.Profile(0)
+	mid := k.Profile(8) // invocation 9, cache-bound
+	if early.Phases[0].WorkingSetLines >= mid.Phases[0].WorkingSetLines {
+		t.Fatal("mid-run invocations must have larger working sets than early ones")
+	}
+	if k.Grid(8) >= k.Grid(0) {
+		t.Fatal("cache-bound invocations must have smaller frontiers")
+	}
+}
+
+func TestMriG1HasBursts(t *testing.T) {
+	k, _ := ByName("mri_g-1")
+	p := k.Profile(0)
+	if len(p.Phases) < 3 {
+		t.Fatalf("mri_g-1 has %d phases, want intra-invocation variation", len(p.Phases))
+	}
+	var bursts int
+	for _, ph := range p.Phases {
+		if ph.MemEvery == 1 && ph.Pattern == warp.Streaming {
+			bursts++
+		}
+	}
+	if bursts != 2 {
+		t.Fatalf("mri_g-1 has %d memory bursts, want 2 (Figure 2b)", bursts)
+	}
+}
+
+func TestSpmvStartsCacheContended(t *testing.T) {
+	k, _ := ByName("spmv")
+	p := k.Profile(0)
+	if len(p.Phases) < 2 {
+		t.Fatal("spmv needs an initial cache phase plus a compute phase")
+	}
+	if p.Phases[0].Pattern != warp.PrivateReuse {
+		t.Fatal("spmv phase 0 must be cache-contended (Figure 11b)")
+	}
+}
+
+func TestCacheStudyKernelsMatchFigure10(t *testing.T) {
+	names := map[string]bool{}
+	for _, k := range CacheStudyKernels() {
+		names[k.Name] = true
+	}
+	for _, want := range []string{"bp-2", "bfs-2", "histo-1", "kmn", "mmer", "prtcl-1", "spmv"} {
+		if !names[want] {
+			t.Errorf("Figure 10 kernel %s missing from cache study set", want)
+		}
+	}
+	if len(names) != 7 {
+		t.Errorf("cache study set has %d kernels, want 7", len(names))
+	}
+}
+
+func TestCacheKernelsThrashAtFullOccupancy(t *testing.T) {
+	// The aggregate working set at maximum concurrency must exceed the
+	// 256-line L1 while fitting at one block: that is the premise of the
+	// paper's cache-sensitivity category.
+	const l1Lines = 256
+	for _, k := range ByCategory(CacheSensitive) {
+		// Use the most cache-bound invocation (bfs-2 varies per invocation).
+		ph := k.Profile(0).Phases[0]
+		for inv := 1; inv < k.Invocations; inv++ {
+			if cand := k.Profile(inv).Phases[0]; cand.WorkingSetLines > ph.WorkingSetLines {
+				ph = cand
+			}
+		}
+		if ph.Pattern != warp.PrivateReuse {
+			continue
+		}
+		maxBlocks := k.MaxResidentBlocks(48)
+		full := maxBlocks * k.Wcta * ph.WorkingSetLines
+		one := k.Wcta * ph.WorkingSetLines
+		if full <= l1Lines {
+			t.Errorf("%s: full-occupancy footprint %d lines fits L1; not cache-sensitive", k.Name, full)
+		}
+		if one > l1Lines {
+			t.Errorf("%s: single-block footprint %d lines exceeds L1; no concurrency can help", k.Name, one)
+		}
+	}
+}
+
+func TestFractionsWithinApp(t *testing.T) {
+	sums := map[string]float64{}
+	for _, k := range All() {
+		sums[k.App] += k.Fraction
+	}
+	for app, sum := range sums {
+		// Table II lists only the studied kernels of each app (kmeans'
+		// single kernel covers just 24% of its app), so the sum must be a
+		// sane fraction, never above 1.
+		if sum <= 0 || sum > 1.01 {
+			t.Errorf("app %s kernel fractions sum to %g, want (0, 1.01]", app, sum)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Compute.String() != "compute" || CacheSensitive.String() != "cache" {
+		t.Fatal("category strings wrong")
+	}
+	if len(Categories()) != 4 {
+		t.Fatal("Categories() must list 4 entries")
+	}
+}

@@ -1,0 +1,56 @@
+package policy
+
+import (
+	"testing"
+
+	"equalizer/internal/config"
+)
+
+func TestPowerBoostRaisesComputeKernelClock(t *testing.T) {
+	m := machine(t, NewPowerBoost())
+	res, err := m.RunKernel(kernel(t, "cutcp", 90), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residency.SM[config.VFHigh] == 0 {
+		t.Fatal("boost never raised the SM clock with headroom available")
+	}
+	if res.Residency.Mem[config.VFHigh] != 0 || res.Residency.Mem[config.VFLow] != 0 {
+		t.Fatal("boost touched the memory domain")
+	}
+}
+
+func TestPowerBoostRespectsBudget(t *testing.T) {
+	p := NewPowerBoost()
+	p.BudgetW = 50 // below even idle power: must never boost
+	m := machine(t, p)
+	res, err := m.RunKernel(kernel(t, "cutcp", 60), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residency.SM[config.VFHigh] != 0 {
+		t.Fatal("boost exceeded the power budget")
+	}
+}
+
+func TestPowerBoostDoesNotHelpCacheKernel(t *testing.T) {
+	k := kernel(t, "kmn", 90)
+	base, err := machine(t, nil).RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := machine(t, NewPowerBoost()).RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(base.TimePS) / float64(boosted.TimePS)
+	if speedup > 1.08 {
+		t.Fatalf("boost sped up a cache-thrashing kernel by %.2fx; the core clock is not its bottleneck", speedup)
+	}
+}
+
+func TestPowerBoostName(t *testing.T) {
+	if NewPowerBoost().Name() != "gpu-boost" {
+		t.Fatal("name wrong")
+	}
+}

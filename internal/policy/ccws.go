@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"sort"
+
+	"equalizer/internal/cache"
+	"equalizer/internal/clock"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+)
+
+// CCWS reimplements Cache-Conscious Wavefront Scheduling (Rogers et al.,
+// MICRO 2012), the paper's cache-locality baseline. Each SM keeps a victim
+// tag array recording recently evicted lines and their owner warps. When a
+// warp misses on a line it itself evicted — lost intra-warp locality — its
+// locality score rises; the issue scheduler then restricts memory issue to
+// the highest-scoring warps, effectively shrinking the set of warps allowed
+// to touch the L1 until locality recovers. Scores decay over time. CCWS
+// never changes block counts or frequency.
+type CCWS struct {
+	// VictimTags bounds the per-SM victim tag array.
+	VictimTags int
+	// ScoreBump is added to a warp's score on a detected locality loss.
+	ScoreBump int
+	// DecayEvery is the cycle interval at which all scores decay by one.
+	DecayEvery int
+	// WarpsPerScore is the throttle gain: one warp is removed from the
+	// memory-issue set for every WarpsPerScore points of total score.
+	WarpsPerScore int
+
+	sms []*ccwsSM
+}
+
+var _ gpu.Policy = (*CCWS)(nil)
+
+// NewCCWS builds the policy with defaults analogous to the published
+// configuration (the paper notes CCWS is sensitive to these).
+func NewCCWS() *CCWS {
+	return &CCWS{
+		VictimTags:    512,
+		ScoreBump:     64,
+		DecayEvery:    16,
+		WarpsPerScore: 96,
+	}
+}
+
+// Name implements gpu.Policy.
+func (p *CCWS) Name() string { return "CCWS" }
+
+// ccwsSM is the per-SM locality detector and throttle.
+type ccwsSM struct {
+	parent *CCWS
+	// owner maps a resident line to the warp that last touched it.
+	owner map[cache.Addr]int
+	// victims maps an evicted line to the warp that owned it; ring bounds
+	// the array.
+	victims map[cache.Addr]int
+	ring    []cache.Addr
+	ringPos int
+
+	scores  []int
+	allowed []bool
+}
+
+func newCCWSSM(parent *CCWS, maxWarps int) *ccwsSM {
+	s := &ccwsSM{
+		parent:  parent,
+		owner:   make(map[cache.Addr]int),
+		victims: make(map[cache.Addr]int, parent.VictimTags),
+		ring:    make([]cache.Addr, parent.VictimTags),
+		scores:  make([]int, maxWarps),
+		allowed: make([]bool, maxWarps),
+	}
+	for i := range s.allowed {
+		s.allowed[i] = true
+	}
+	return s
+}
+
+// OnL1Access implements sm.L1Listener.
+func (s *ccwsSM) OnL1Access(warpSlot int, line cache.Addr, res cache.AccessResult) {
+	switch res {
+	case cache.Hit, cache.Miss, cache.MergedMiss:
+		if res != cache.Hit {
+			if owner, ok := s.victims[line]; ok && owner == warpSlot {
+				// The warp lost its own locality: raise its score.
+				s.scores[warpSlot] += s.parent.ScoreBump
+				delete(s.victims, line)
+			}
+		}
+		s.owner[line] = warpSlot
+	case cache.Reject:
+		// No cache state change.
+	}
+}
+
+// OnL1Evict implements sm.L1Listener.
+func (s *ccwsSM) OnL1Evict(line cache.Addr) {
+	owner, ok := s.owner[line]
+	if !ok {
+		return
+	}
+	delete(s.owner, line)
+	// Insert into the bounded victim tag array, displacing the oldest.
+	if old := s.ring[s.ringPos]; old != 0 {
+		delete(s.victims, old)
+	}
+	s.ring[s.ringPos] = line
+	s.ringPos = (s.ringPos + 1) % len(s.ring)
+	s.victims[line] = owner
+}
+
+// filter implements the memory-issue veto.
+func (s *ccwsSM) filter(warpSlot int) bool { return s.allowed[warpSlot] }
+
+// rebalance recomputes the allowed set: total score shrinks the number of
+// warps permitted to issue loads; the highest-scoring warps keep access.
+func (s *ccwsSM) rebalance() {
+	total := 0
+	for _, sc := range s.scores {
+		total += sc
+	}
+	n := len(s.scores)
+	throttled := total / s.parent.WarpsPerScore
+	if throttled > n-1 {
+		throttled = n - 1
+	}
+	if throttled == 0 {
+		for i := range s.allowed {
+			s.allowed[i] = true
+		}
+		return
+	}
+	// Rank warps by score descending; the bottom `throttled` lose access.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.scores[idx[a]] > s.scores[idx[b]] })
+	for rank, w := range idx {
+		s.allowed[w] = rank < n-throttled
+	}
+}
+
+func (s *ccwsSM) decay() {
+	for i := range s.scores {
+		if s.scores[i] > 0 {
+			s.scores[i]--
+		}
+	}
+}
+
+// Reset implements gpu.Policy.
+func (p *CCWS) Reset(m *gpu.Machine, _ kernels.Kernel) {
+	p.sms = make([]*ccwsSM, m.NumSMs())
+	for i := range p.sms {
+		s := newCCWSSM(p, m.Config().MaxWarpsPerSM)
+		p.sms[i] = s
+		m.SM(i).SetL1Listener(s)
+		m.SM(i).SetIssueFilter(s.filter)
+	}
+}
+
+// OnSMCycle implements gpu.Policy.
+func (p *CCWS) OnSMCycle(m *gpu.Machine, _ clock.Time, smCycle int64) {
+	if smCycle%int64(p.DecayEvery) == 0 {
+		for _, s := range p.sms {
+			s.decay()
+		}
+	}
+	if smCycle%64 == 0 {
+		for _, s := range p.sms {
+			s.rebalance()
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"equalizer/internal/clock"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+)
+
+// DynCTA reimplements the heuristic thread-block throttling of Kayiran et
+// al., "Neither More nor Less: Optimizing Thread-level Parallelism for
+// GPGPUs" (PACT 2013), as the paper's primary concurrency baseline.
+//
+// DynCTA classifies stall cycles rather than warp readiness: it monitors the
+// fraction of warps stalled waiting for memory and the SM idleness over a
+// monitoring window, decreasing the block count when memory waiting is high
+// and increasing it when the SM starves for work. Unlike Equalizer it cannot
+// distinguish latency-bound waiting (which wants more concurrency) from
+// bandwidth-bound back-pressure (which wants less) — the weakness Figure 11b
+// demonstrates on spmv — and it never touches frequency.
+type DynCTA struct {
+	// WindowCycles is the monitoring window (2048 cycles, matching the
+	// paper's description of a coarser-grained heuristic).
+	WindowCycles int
+	// HighWaiting and LowWaiting are the stall-fraction thresholds
+	// (t_high/t_low in DynCTA). The narrow deadband mirrors the published
+	// tuning and is the source of the heuristic's fragility: kernels whose
+	// cache-fitting stall fraction falls below t_low bounce back up into
+	// thrashing (oscillation), which Equalizer's Xmem-based test avoids.
+	HighWaiting float64
+	LowWaiting  float64
+
+	sampleEvery int
+	acc         []dynAcc
+}
+
+type dynAcc struct {
+	memStall, active int64
+	idleSamples      int
+	samples          int
+}
+
+var _ gpu.Policy = (*DynCTA)(nil)
+
+// NewDynCTA builds the policy with its published-style thresholds. The wide
+// deadband between the two thresholds is what makes the heuristic coarse:
+// it stops throttling as soon as the stall fraction dips under t_high, often
+// short of the cache-fitting concurrency Equalizer reaches, and it refuses
+// to add blocks to a latency-bound kernel because high memory waiting looks
+// identical to memory contention.
+func NewDynCTA() *DynCTA {
+	return &DynCTA{
+		WindowCycles: 8192,
+		HighWaiting:  0.95,
+		LowWaiting:   0.85,
+		sampleEvery:  128,
+	}
+}
+
+// Name implements gpu.Policy.
+func (p *DynCTA) Name() string { return "dynCTA" }
+
+// Reset implements gpu.Policy.
+func (p *DynCTA) Reset(m *gpu.Machine, _ kernels.Kernel) {
+	p.acc = make([]dynAcc, m.NumSMs())
+}
+
+// OnSMCycle implements gpu.Policy.
+func (p *DynCTA) OnSMCycle(m *gpu.Machine, _ clock.Time, smCycle int64) {
+	if smCycle%int64(p.sampleEvery) != 0 {
+		return
+	}
+	for i := range p.acc {
+		snap := m.SM(i).Snapshot()
+		a := &p.acc[i]
+		// DynCTA's C_mem covers every memory-induced stall: warps waiting
+		// on data and warps blocked behind the memory pipeline alike.
+		a.memStall += int64(snap.Waiting) + int64(snap.XMEM)
+		a.active += int64(snap.Active)
+		if snap.Issued == 0 && snap.XALU == 0 && snap.XMEM == 0 {
+			a.idleSamples++
+		}
+		a.samples++
+	}
+	if smCycle%int64(p.WindowCycles) != 0 {
+		return
+	}
+	for i := range p.acc {
+		a := &p.acc[i]
+		if a.samples == 0 || a.active == 0 {
+			*a = dynAcc{}
+			continue
+		}
+		stallFrac := float64(a.memStall) / float64(a.active)
+		idleFrac := float64(a.idleSamples) / float64(a.samples)
+		cur := m.SM(i).TargetBlocks()
+		switch {
+		case stallFrac > p.HighWaiting:
+			// Many warps stalled on memory: DynCTA reads this as memory
+			// contention and throttles concurrency.
+			m.SetTargetBlocks(i, cur-1)
+		case stallFrac < p.LowWaiting && idleFrac < 0.1:
+			// Warps rarely stall and the SM is busy: more blocks are safe.
+			m.SetTargetBlocks(i, cur+1)
+		}
+		*a = dynAcc{}
+	}
+}

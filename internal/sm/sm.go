@@ -1,0 +1,628 @@
+// Package sm models one streaming multiprocessor of the simulated GPU: the
+// instruction buffer and scoreboard (abstracted as per-warp head-instruction
+// state), the dual-issue warp scheduler, the load/store unit with its bounded
+// queue, the per-SM L1 data cache, the block manager with CTA pausing, and
+// the warp-state accounting that feeds Equalizer's four hardware counters.
+//
+// The SM advances one cycle at a time via Step. All timestamps are absolute
+// simulation times (picoseconds) so the SM composes naturally with the
+// independently clocked memory system.
+package sm
+
+import (
+	"fmt"
+
+	"equalizer/internal/cache"
+	"equalizer/internal/clock"
+	"equalizer/internal/config"
+	"equalizer/internal/events"
+	"equalizer/internal/warp"
+)
+
+// State is the execution state of a warp in a given cycle, following the
+// classification of Section III-A of the paper.
+type State uint8
+
+const (
+	// StateUnaccounted covers warps with no valid resident context (slot
+	// empty or warp finished).
+	StateUnaccounted State = iota
+	// StateWaiting warps wait for an operand (usually load data) or a
+	// dependency gap to elapse.
+	StateWaiting
+	// StateIssued warps issued an instruction this cycle.
+	StateIssued
+	// StateXALU warps are ready for the arithmetic pipeline but were not
+	// issued (scheduler issue-width contention).
+	StateXALU
+	// StateXMEM warps are ready to issue to the memory pipeline but are
+	// blocked by LSU back-pressure or the memory issue width.
+	StateXMEM
+	// StateOthers covers barrier waits.
+	StateOthers
+	// StatePaused warps belong to a CTA paused by the concurrency
+	// controller and are excluded from scheduling and accounting.
+	StatePaused
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateUnaccounted:
+		return "unaccounted"
+	case StateWaiting:
+		return "waiting"
+	case StateIssued:
+		return "issued"
+	case StateXALU:
+		return "xalu"
+	case StateXMEM:
+		return "xmem"
+	case StateOthers:
+		return "others"
+	case StatePaused:
+		return "paused"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Snapshot is the instantaneous warp-state census of one SM cycle — the
+// values Equalizer's hardware counters sample every 128 cycles.
+type Snapshot struct {
+	// Active counts resident, unpaused, unfinished warps.
+	Active int
+	// Waiting counts warps waiting on operands.
+	Waiting int
+	// Issued counts warps that issued this cycle (0..2).
+	Issued int
+	// XALU counts ready-for-ALU warps that could not issue.
+	XALU int
+	// XMEM counts ready-for-memory warps that could not issue.
+	XMEM int
+	// Others counts barrier-blocked warps.
+	Others int
+}
+
+// MemRequest is an L1 miss leaving the SM towards the memory partition.
+type MemRequest struct {
+	// SM is the index of the requesting SM.
+	SM int
+	// Line is the line-aligned address.
+	Line cache.Addr
+}
+
+// Stats aggregates SM activity over a run.
+type Stats struct {
+	Cycles          uint64
+	IssuedALU       uint64
+	IssuedSFU       uint64
+	IssuedMEM       uint64
+	IssuedTEX       uint64
+	L1LineAccesses  uint64
+	BlocksLaunched  uint64
+	BlocksFinished  uint64
+	BarrierReleases uint64
+	// ActiveCycles counts cycles with at least one resident block.
+	ActiveCycles uint64
+}
+
+// IPC returns issued instructions (all pipelines) per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.IssuedALU+s.IssuedSFU+s.IssuedMEM+s.IssuedTEX) / float64(s.Cycles)
+}
+
+type warpCtx struct {
+	stream  *warp.Stream
+	block   int // resident block slot
+	cur     warp.Instr
+	hasCur  bool
+	readyAt clock.Time
+	// pendingLines counts outstanding line returns for the last issued MEM
+	// instruction; while > 0 the warp is waiting on data.
+	pendingLines int
+	atBarrier    bool
+	finished     bool
+	valid        bool
+}
+
+type blockCtx struct {
+	valid    bool
+	globalID int
+	paused   bool
+	// warps lists warp slot indices of this block.
+	warps []int
+	// liveWarps counts unfinished warps.
+	liveWarps int
+	// barWaiting counts warps currently at the barrier.
+	barWaiting int
+}
+
+type lsuEntry struct {
+	warp int
+	base cache.Addr
+	// linesLeft counts line accesses still to perform (1 + extras).
+	linesLeft int
+	// nextLine indexes the next line to access (0 = base).
+	nextLine int
+}
+
+// IssueFilter lets a policy (e.g. CCWS) veto memory issue for specific warp
+// slots. Returning false keeps the warp out of the ready-memory pool for the
+// cycle without counting it as Xmem back-pressure.
+type IssueFilter func(warpSlot int) bool
+
+// L1Listener observes L1 activity; CCWS uses it for locality scoring.
+type L1Listener interface {
+	// OnL1Access is called for every line probe with its warp slot and
+	// outcome.
+	OnL1Access(warpSlot int, line cache.Addr, result cache.AccessResult)
+	// OnL1Evict is called when a fill evicts a victim line.
+	OnL1Evict(line cache.Addr)
+}
+
+// SM is one streaming multiprocessor. Not safe for concurrent use.
+type SM struct {
+	cfg   config.GPU
+	index int
+
+	warps  []warpCtx
+	blocks []blockCtx
+	// freeWarpSlots holds unused warp slot indices (LIFO).
+	freeWarpSlots []int
+
+	l1 *cache.Cache
+	// l1Waiters maps a missing line to the warp slots awaiting its fill.
+	l1Waiters map[cache.Addr][]int
+
+	lsu []lsuEntry
+	// tex is the texture unit's request queue. It is much deeper than the
+	// LSU, and warps stalled behind it are classified as waiting rather
+	// than Xmem — texture back-pressure is invisible to the LD/ST pipeline
+	// (the leuko-1 effect of Section V-B).
+	tex []lsuEntry
+	// outbox holds at most one miss awaiting interconnect acceptance.
+	outbox    *MemRequest
+	wakeQueue events.Queue[int]
+
+	// targetBlocks is the concurrency ceiling set by the running policy;
+	// resident unpaused blocks never exceed it.
+	targetBlocks int
+
+	// rrALU / rrMEM rotate issue priority for fairness.
+	rrALU, rrMEM int
+
+	filter   IssueFilter
+	listener L1Listener
+
+	snap  Snapshot
+	stats Stats
+
+	residentBlocks int
+	activeBlocks   int
+	liveWarps      int
+}
+
+// New builds an SM with the given index.
+func New(cfg config.GPU, index int) *SM {
+	s := &SM{
+		cfg:          cfg,
+		index:        index,
+		warps:        make([]warpCtx, cfg.MaxWarpsPerSM),
+		blocks:       make([]blockCtx, cfg.MaxBlocksPerSM),
+		l1:           cache.MustNew(cfg.L1),
+		l1Waiters:    make(map[cache.Addr][]int),
+		lsu:          make([]lsuEntry, 0, cfg.LSUQueueDepth),
+		targetBlocks: cfg.MaxBlocksPerSM,
+	}
+	for i := cfg.MaxWarpsPerSM - 1; i >= 0; i-- {
+		s.freeWarpSlots = append(s.freeWarpSlots, i)
+	}
+	return s
+}
+
+// Index returns the SM's position in the GPU.
+func (s *SM) Index() int { return s.index }
+
+// L1 exposes the data cache (read-mostly: statistics, geometry).
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// Stats returns accumulated statistics.
+func (s *SM) Stats() Stats { return s.stats }
+
+// Snapshot returns the warp-state census of the last completed cycle.
+func (s *SM) Snapshot() Snapshot { return s.snap }
+
+// SetIssueFilter installs (or clears, with nil) a memory-issue veto.
+func (s *SM) SetIssueFilter(f IssueFilter) { s.filter = f }
+
+// SetL1Listener installs (or clears, with nil) an L1 activity observer.
+func (s *SM) SetL1Listener(l L1Listener) { s.listener = l }
+
+// ResidentBlocks returns the number of blocks currently occupying slots.
+func (s *SM) ResidentBlocks() int { return s.residentBlocks }
+
+// ActiveBlocks returns resident minus paused blocks.
+func (s *SM) ActiveBlocks() int { return s.activeBlocks }
+
+// LiveWarps returns resident unfinished warps (paused included).
+func (s *SM) LiveWarps() int { return s.liveWarps }
+
+// TargetBlocks returns the current concurrency ceiling.
+func (s *SM) TargetBlocks() int { return s.targetBlocks }
+
+// SetTargetBlocks changes the concurrency ceiling, pausing or unpausing
+// resident blocks as needed. The ceiling is clamped to [1, MaxBlocksPerSM].
+func (s *SM) SetTargetBlocks(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cfg.MaxBlocksPerSM {
+		n = s.cfg.MaxBlocksPerSM
+	}
+	s.targetBlocks = n
+	s.rebalancePausing()
+}
+
+// rebalancePausing pauses the youngest blocks above the ceiling and unpauses
+// the oldest paused blocks below it.
+func (s *SM) rebalancePausing() {
+	// Pause from the highest slot downwards while above target.
+	for i := len(s.blocks) - 1; i >= 0 && s.activeBlocks > s.targetBlocks; i-- {
+		b := &s.blocks[i]
+		if b.valid && !b.paused {
+			b.paused = true
+			s.activeBlocks--
+		}
+	}
+	// Unpause from the lowest slot upwards while below target.
+	for i := 0; i < len(s.blocks) && s.activeBlocks < s.targetBlocks; i++ {
+		b := &s.blocks[i]
+		if b.valid && b.paused {
+			b.paused = false
+			s.activeBlocks++
+		}
+	}
+}
+
+// WantsBlock reports whether the SM can accept another thread block of
+// wcta warps: a free block slot, enough warp slots, and headroom under the
+// concurrency ceiling.
+func (s *SM) WantsBlock(wcta int) bool {
+	if s.activeBlocks >= s.targetBlocks || s.residentBlocks >= s.cfg.MaxBlocksPerSM {
+		return false
+	}
+	return len(s.freeWarpSlots) >= wcta
+}
+
+// LaunchBlock installs a thread block of wcta warps running prof, with
+// grid-global id globalID. It panics when WantsBlock would be false —
+// callers own admission control.
+func (s *SM) LaunchBlock(prof *warp.Profile, globalID, wcta int) {
+	if !s.WantsBlock(wcta) {
+		panic(fmt.Sprintf("sm %d: LaunchBlock without capacity", s.index))
+	}
+	slot := -1
+	for i := range s.blocks {
+		if !s.blocks[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		panic(fmt.Sprintf("sm %d: no free block slot despite WantsBlock", s.index))
+	}
+	b := &s.blocks[slot]
+	*b = blockCtx{valid: true, globalID: globalID, warps: b.warps[:0], liveWarps: wcta}
+	for w := 0; w < wcta; w++ {
+		ws := s.freeWarpSlots[len(s.freeWarpSlots)-1]
+		s.freeWarpSlots = s.freeWarpSlots[:len(s.freeWarpSlots)-1]
+		s.warps[ws] = warpCtx{
+			stream: warp.NewStream(prof, globalID*wcta+w),
+			block:  slot,
+			valid:  true,
+		}
+		b.warps = append(b.warps, ws)
+	}
+	s.residentBlocks++
+	s.activeBlocks++
+	s.liveWarps += wcta
+	s.stats.BlocksLaunched++
+	// A newly launched block may immediately exceed the ceiling if the
+	// policy lowered it since admission was checked.
+	if s.activeBlocks > s.targetBlocks {
+		s.rebalancePausing()
+	}
+}
+
+// DeliverLine completes an outstanding miss for the given line: the L1 is
+// filled and every waiting warp is scheduled to wake at time at.
+func (s *SM) DeliverLine(line cache.Addr, at clock.Time) {
+	s.l1.Fill(line)
+	if s.listener != nil {
+		if victim, ok := s.l1.LastVictim(); ok {
+			s.listener.OnL1Evict(victim)
+		}
+	}
+	waiters := s.l1Waiters[line]
+	delete(s.l1Waiters, line)
+	for _, ws := range waiters {
+		s.wakeQueue.Push(int64(at), ws)
+	}
+}
+
+// OutboxFull reports whether a miss is stuck waiting for the interconnect.
+func (s *SM) OutboxFull() bool { return s.outbox != nil }
+
+// TakeOutbox hands the pending miss to the interconnect layer; ok is false
+// when there is none.
+func (s *SM) TakeOutbox() (MemRequest, bool) {
+	if s.outbox == nil {
+		return MemRequest{}, false
+	}
+	r := *s.outbox
+	s.outbox = nil
+	return r, true
+}
+
+// TexQueueDepth is the texture unit's request-queue capacity; deep enough
+// that texture streams rarely exert visible back-pressure.
+const TexQueueDepth = 32
+
+// Idle reports whether the SM holds no work at all.
+func (s *SM) Idle() bool {
+	return s.residentBlocks == 0 && len(s.lsu) == 0 && len(s.tex) == 0 &&
+		s.outbox == nil && s.wakeQueue.Len() == 0
+}
+
+// Step advances the SM by one cycle ending at time now (the current SM-domain
+// cycle boundary). smPeriod is the current SM clock period, used to convert
+// latencies expressed in SM cycles into absolute times.
+func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
+	s.stats.Cycles++
+	if s.residentBlocks > 0 {
+		s.stats.ActiveCycles++
+	}
+
+	// 1. Wake warps whose data or dependency gap arrived.
+	s.wakeQueue.PopReady(int64(now), func(ws int) {
+		w := &s.warps[ws]
+		if w.valid && w.pendingLines > 0 {
+			w.pendingLines--
+		}
+	})
+
+	// 2. Drain the LSU head into the L1 (one line access per cycle); the
+	// texture queue shares the L1 port on cycles the LSU leaves it idle.
+	if !s.drainQueue(&s.lsu, now, smPeriod) {
+		s.drainQueue(&s.tex, now, smPeriod)
+	}
+
+	// 3. Issue: classify warps, pick one ALU and one MEM candidate.
+	s.issue(now, smPeriod)
+}
+
+// drainQueue advances one memory queue by one line access and reports
+// whether it consumed the L1 port this cycle.
+func (s *SM) drainQueue(q *[]lsuEntry, now clock.Time, smPeriod clock.Time) bool {
+	if len(*q) == 0 || s.outbox != nil {
+		return false
+	}
+	e := &(*q)[0]
+	line := s.l1.LineAddr(warp.ExtraAddr(e.base, e.nextLine, s.cfg.L1.LineBytes))
+	res := s.l1.Access(line)
+	if s.listener != nil {
+		s.listener.OnL1Access(e.warp, line, res)
+	}
+	switch res {
+	case cache.Reject:
+		// MSHRs exhausted: head blocks, back-pressure builds.
+		return true
+	case cache.Hit:
+		s.stats.L1LineAccesses++
+		s.wakeQueue.Push(int64(now+clock.Time(s.cfg.L1HitLatency)*smPeriod), e.warp)
+	case cache.Miss:
+		s.stats.L1LineAccesses++
+		s.l1Waiters[line] = append(s.l1Waiters[line], e.warp)
+		s.outbox = &MemRequest{SM: s.index, Line: line}
+	case cache.MergedMiss:
+		s.stats.L1LineAccesses++
+		s.l1Waiters[line] = append(s.l1Waiters[line], e.warp)
+	}
+	e.nextLine++
+	e.linesLeft--
+	if e.linesLeft == 0 {
+		copy(*q, (*q)[1:])
+		*q = (*q)[:len(*q)-1]
+	}
+	return true
+}
+
+func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
+	snap := Snapshot{}
+	n := len(s.warps)
+	bestALU, bestMEM, bestTEX := -1, -1, -1
+	lsuSpace := len(s.lsu) < s.cfg.LSUQueueDepth
+	texSpace := len(s.tex) < TexQueueDepth
+	readyALU, readyMEM := 0, 0
+
+	for off := 0; off < n; off++ {
+		ws := (s.rrALU + off) % n
+		w := &s.warps[ws]
+		if !w.valid || w.finished {
+			continue
+		}
+		if s.blocks[w.block].paused {
+			continue
+		}
+		snap.Active++
+		if w.atBarrier {
+			snap.Others++
+			continue
+		}
+		if w.pendingLines > 0 || now < w.readyAt {
+			snap.Waiting++
+			continue
+		}
+		if !w.hasCur {
+			w.cur = w.stream.Next()
+			w.hasCur = true
+		}
+		switch w.cur.Kind {
+		case warp.ALU, warp.SFU:
+			readyALU++
+			if bestALU < 0 {
+				bestALU = ws
+			}
+		case warp.MEM:
+			if s.filter != nil && !s.filter(ws) {
+				// Policy-throttled warp: counts as waiting, not Xmem.
+				snap.Waiting++
+				continue
+			}
+			readyMEM++
+			if bestMEM < 0 && lsuSpace {
+				bestMEM = ws
+			}
+		case warp.TEX:
+			// Texture requests never surface as Xmem: an unissued ready
+			// texture warp is indistinguishable from a waiting one.
+			if bestTEX < 0 && texSpace {
+				bestTEX = ws
+			} else {
+				snap.Waiting++
+			}
+		case warp.BAR:
+			s.arriveBarrier(ws, now)
+			snap.Others++
+		case warp.EXIT:
+			s.finishWarp(ws)
+			snap.Active--
+		}
+	}
+
+	issued := 0
+	if bestALU >= 0 {
+		w := &s.warps[bestALU]
+		if w.cur.Kind == warp.SFU {
+			s.stats.IssuedSFU++
+		} else {
+			s.stats.IssuedALU++
+		}
+		w.readyAt = now + clock.Time(w.cur.Gap)*smPeriod
+		w.hasCur = false
+		issued++
+		readyALU--
+		s.rrALU = (bestALU + 1) % n
+	}
+	if bestMEM >= 0 {
+		w := &s.warps[bestMEM]
+		s.lsu = append(s.lsu, lsuEntry{
+			warp:      bestMEM,
+			base:      w.cur.Addr,
+			linesLeft: 1 + int(w.cur.ExtraLines),
+		})
+		w.pendingLines = 1 + int(w.cur.ExtraLines)
+		s.stats.IssuedMEM++
+		w.hasCur = false
+		issued++
+		readyMEM--
+		s.rrMEM = (bestMEM + 1) % n
+	}
+	if bestTEX >= 0 {
+		w := &s.warps[bestTEX]
+		s.tex = append(s.tex, lsuEntry{
+			warp:      bestTEX,
+			base:      w.cur.Addr,
+			linesLeft: 1 + int(w.cur.ExtraLines),
+		})
+		w.pendingLines = 1 + int(w.cur.ExtraLines)
+		s.stats.IssuedTEX++
+		w.hasCur = false
+		issued++
+	}
+
+	snap.Issued = issued
+	snap.XALU = readyALU
+	snap.XMEM = readyMEM
+	s.snap = snap
+}
+
+func (s *SM) arriveBarrier(ws int, now clock.Time) {
+	w := &s.warps[ws]
+	w.atBarrier = true
+	b := &s.blocks[w.block]
+	b.barWaiting++
+	if b.barWaiting < b.liveWarps {
+		return
+	}
+	// Everyone arrived: release the whole block next cycle.
+	for _, other := range b.warps {
+		ow := &s.warps[other]
+		if ow.valid && !ow.finished && ow.atBarrier {
+			ow.atBarrier = false
+			ow.hasCur = false
+			ow.readyAt = now + 1
+		}
+	}
+	b.barWaiting = 0
+	s.stats.BarrierReleases++
+}
+
+func (s *SM) finishWarp(ws int) {
+	w := &s.warps[ws]
+	w.finished = true
+	s.liveWarps--
+	b := &s.blocks[w.block]
+	b.liveWarps--
+	if b.liveWarps > 0 {
+		return
+	}
+	// Block complete: free its warp slots and the block slot.
+	for _, other := range b.warps {
+		s.warps[other] = warpCtx{}
+		s.freeWarpSlots = append(s.freeWarpSlots, other)
+	}
+	wasPaused := b.paused
+	*b = blockCtx{warps: b.warps[:0]}
+	s.residentBlocks--
+	if !wasPaused {
+		s.activeBlocks--
+	}
+	s.stats.BlocksFinished++
+	// A finished block hands its slot to a paused one (Section IV-B): the
+	// reduced concurrency target is maintained without a new GWDE request.
+	s.rebalancePausing()
+}
+
+// Reset clears all execution state for a new kernel invocation. The L1 is
+// flushed (no cross-kernel coherence) and statistics are preserved unless
+// resetStats is true.
+func (s *SM) Reset(resetStats bool) {
+	for i := range s.warps {
+		s.warps[i] = warpCtx{}
+	}
+	for i := range s.blocks {
+		s.blocks[i] = blockCtx{}
+	}
+	s.freeWarpSlots = s.freeWarpSlots[:0]
+	for i := s.cfg.MaxWarpsPerSM - 1; i >= 0; i-- {
+		s.freeWarpSlots = append(s.freeWarpSlots, i)
+	}
+	s.l1.Flush()
+	s.l1Waiters = make(map[cache.Addr][]int)
+	s.lsu = s.lsu[:0]
+	s.tex = s.tex[:0]
+	s.outbox = nil
+	s.wakeQueue.Reset()
+	s.targetBlocks = s.cfg.MaxBlocksPerSM
+	s.rrALU, s.rrMEM = 0, 0
+	s.residentBlocks, s.activeBlocks, s.liveWarps = 0, 0, 0
+	s.snap = Snapshot{}
+	if resetStats {
+		s.stats = Stats{}
+	}
+}

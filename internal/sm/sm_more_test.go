@@ -1,0 +1,226 @@
+package sm
+
+import (
+	"testing"
+
+	"equalizer/internal/clock"
+	"equalizer/internal/warp"
+)
+
+// runFixedCycles drives the SM for exactly n cycles with a perfect memory
+// system answering after memLat cycles.
+func runFixedCycles(s *SM, smPeriod clock.Time, memLat int, n int) clock.Time {
+	now := clock.Time(0)
+	for c := 0; c < n; c++ {
+		now += smPeriod
+		s.Step(now, smPeriod)
+		if r, ok := s.TakeOutbox(); ok {
+			s.DeliverLine(r.Line, now+clock.Time(memLat)*smPeriod)
+		}
+		if s.Idle() {
+			break
+		}
+	}
+	return now
+}
+
+func TestFasterClockFinishesComputeSooner(t *testing.T) {
+	prof := &warp.Profile{LineBytes: 128, Phases: []warp.Phase{{Insts: 200, ALUGap: 2}}}
+	slow := New(testCfg(), 0)
+	slow.LaunchBlock(prof, 0, 8)
+	tSlow := runFixedCycles(slow, 1176, 50, 100000) // 0.85x frequency period
+
+	fast := New(testCfg(), 0)
+	fast.LaunchBlock(prof, 0, 8)
+	tFast := runFixedCycles(fast, 869, 50, 100000) // 1.15x frequency period
+
+	if !slow.Idle() || !fast.Idle() {
+		t.Fatal("blocks did not finish")
+	}
+	ratio := float64(tSlow) / float64(tFast)
+	want := 1176.0 / 869.0
+	if ratio < want*0.95 || ratio > want*1.05 {
+		t.Fatalf("wall-time ratio = %.3f, want ~%.3f (pure compute scales with clock)", ratio, want)
+	}
+}
+
+func TestPauseDuringBarrierIsDeadlockFree(t *testing.T) {
+	s := New(testCfg(), 0)
+	prof := &warp.Profile{
+		LineBytes: 128,
+		Phases: []warp.Phase{
+			{Insts: 20, ALUGap: 2, Barrier: true},
+			{Insts: 10, ALUGap: 2},
+		},
+	}
+	s.LaunchBlock(prof, 0, 8)
+	s.LaunchBlock(prof, 1, 8)
+	// Pause the second block mid-flight, then resume.
+	now := clock.Time(0)
+	for c := 0; c < 10; c++ {
+		now += period
+		s.Step(now, period)
+	}
+	s.SetTargetBlocks(1)
+	for c := 0; c < 50; c++ {
+		now += period
+		s.Step(now, period)
+	}
+	s.SetTargetBlocks(2)
+	for c := 0; c < 2000 && !s.Idle(); c++ {
+		now += period
+		s.Step(now, period)
+	}
+	if !s.Idle() {
+		t.Fatal("pause across a barrier deadlocked the block")
+	}
+	if s.Stats().BlocksFinished != 2 {
+		t.Fatalf("finished %d blocks, want 2", s.Stats().BlocksFinished)
+	}
+}
+
+func TestResetKeepsStatsWhenAsked(t *testing.T) {
+	s := New(testCfg(), 0)
+	prof := &warp.Profile{LineBytes: 128, Phases: []warp.Phase{{Insts: 10, ALUGap: 1}}}
+	s.LaunchBlock(prof, 0, 4)
+	runFixedCycles(s, period, 50, 1000)
+	issued := s.Stats().IssuedALU
+	if issued == 0 {
+		t.Fatal("no work recorded")
+	}
+	s.Reset(false)
+	if s.Stats().IssuedALU != issued {
+		t.Fatal("Reset(false) cleared statistics")
+	}
+}
+
+func TestTextureLoadsDoNotShowXMEM(t *testing.T) {
+	s := New(testCfg(), 0)
+	prof := &warp.Profile{
+		LineBytes: 128,
+		Phases: []warp.Phase{{
+			Insts: 60, MemEvery: 2, ALUGap: 1,
+			Pattern: warp.Streaming, Texture: true,
+		}},
+	}
+	for b := 0; b < 6; b++ {
+		s.LaunchBlock(prof, b, 8)
+	}
+	// Never answer any request: the memory path is fully clogged, yet the
+	// texture queue must absorb the pressure without raising Xmem.
+	now := clock.Time(0)
+	var maxXmem int
+	for c := 0; c < 400; c++ {
+		now += period
+		s.Step(now, period)
+		if x := s.Snapshot().XMEM; x > maxXmem {
+			maxXmem = x
+		}
+	}
+	if maxXmem > 2 {
+		t.Fatalf("texture kernel exposed XMEM=%d; texture back-pressure must stay invisible", maxXmem)
+	}
+	if s.Stats().IssuedTEX == 0 {
+		t.Fatal("no texture instructions issued")
+	}
+}
+
+func TestTextureKernelCompletes(t *testing.T) {
+	s := New(testCfg(), 0)
+	prof := &warp.Profile{
+		LineBytes: 128,
+		Phases: []warp.Phase{{
+			Insts: 20, MemEvery: 2, ALUGap: 1,
+			Pattern: warp.Streaming, Texture: true,
+		}},
+	}
+	s.LaunchBlock(prof, 0, 4)
+	runFixedCycles(s, period, 100, 100000)
+	if !s.Idle() {
+		t.Fatal("texture kernel never finished")
+	}
+}
+
+func TestMixedTexAndLSUTraffic(t *testing.T) {
+	s := New(testCfg(), 0)
+	texProf := &warp.Profile{
+		LineBytes: 128,
+		Phases:    []warp.Phase{{Insts: 20, MemEvery: 2, ALUGap: 1, Pattern: warp.Streaming, Texture: true}},
+	}
+	memProf := &warp.Profile{
+		LineBytes: 128,
+		Phases:    []warp.Phase{{Insts: 20, MemEvery: 2, ALUGap: 1, Pattern: warp.Streaming}},
+	}
+	s.LaunchBlock(texProf, 0, 4)
+	s.LaunchBlock(memProf, 1, 4)
+	runFixedCycles(s, period, 60, 100000)
+	if !s.Idle() {
+		t.Fatal("mixed-traffic blocks never finished")
+	}
+	st := s.Stats()
+	if st.IssuedTEX == 0 || st.IssuedMEM == 0 {
+		t.Fatalf("both pipes must be used: tex=%d mem=%d", st.IssuedTEX, st.IssuedMEM)
+	}
+}
+
+// TestCensusPartitionsActiveWarps checks the counters' defining invariant:
+// every active warp is in exactly one of waiting / issued / Xalu / Xmem /
+// others each cycle, across all kernel shapes.
+func TestCensusPartitionsActiveWarps(t *testing.T) {
+	profiles := map[string]*warp.Profile{
+		"compute": {LineBytes: 128, Phases: []warp.Phase{{Insts: 300, ALUGap: 1}}},
+		"memory": {LineBytes: 128, Phases: []warp.Phase{{
+			Insts: 60, MemEvery: 2, ALUGap: 1, Pattern: warp.Streaming}}},
+		"cache": {LineBytes: 128, Phases: []warp.Phase{{
+			Insts: 200, MemEvery: 2, ALUGap: 1,
+			Pattern: warp.PrivateReuse, WorkingSetLines: 12, ExtraLines: 3}}},
+		"barrier": {LineBytes: 128, Phases: []warp.Phase{
+			{Insts: 50, ALUGap: 3, Barrier: true},
+			{Insts: 50, MemEvery: 4, ALUGap: 2, Pattern: warp.Streaming}}},
+	}
+	for name, prof := range profiles {
+		t.Run(name, func(t *testing.T) {
+			s := New(testCfg(), 0)
+			for b := 0; b < 4; b++ {
+				s.LaunchBlock(prof, b, 8)
+			}
+			now := clock.Time(0)
+			for c := 0; c < 3000; c++ {
+				now += period
+				s.Step(now, period)
+				if r, ok := s.TakeOutbox(); ok && c%3 == 0 {
+					s.DeliverLine(r.Line, now+200*period)
+				}
+				snap := s.Snapshot()
+				sum := snap.Waiting + snap.Issued + snap.XALU + snap.XMEM + snap.Others
+				if sum != snap.Active {
+					t.Fatalf("cycle %d: census %d+%d+%d+%d+%d = %d != active %d",
+						c, snap.Waiting, snap.Issued, snap.XALU, snap.XMEM,
+						snap.Others, sum, snap.Active)
+				}
+				if s.Idle() {
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotActiveExcludesFinishedWarps(t *testing.T) {
+	s := New(testCfg(), 0)
+	short := &warp.Profile{LineBytes: 128, Phases: []warp.Phase{{Insts: 2, ALUGap: 1}}}
+	long := &warp.Profile{LineBytes: 128, Phases: []warp.Phase{{Insts: 4000, ALUGap: 1}}}
+	s.LaunchBlock(short, 0, 8)
+	s.LaunchBlock(long, 1, 8)
+	now := clock.Time(0)
+	for c := 0; c < 200; c++ {
+		now += period
+		s.Step(now, period)
+	}
+	if s.Stats().BlocksFinished != 1 {
+		t.Fatal("short block should have finished")
+	}
+	if a := s.Snapshot().Active; a != 8 {
+		t.Fatalf("active = %d after one block finished, want 8", a)
+	}
+}

@@ -1,0 +1,61 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanvasBasics(t *testing.T) {
+	c := NewCanvas(100, 50)
+	c.Rect(1, 2, 3, 4, "#fff")
+	c.Line(0, 0, 10, 10, "#000", 1)
+	c.Text(5, 5, "a<b&c", "start", 10)
+	out := c.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<line", "a&lt;b&amp;c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Speedup", []string{"kmn", "lbm"}, []Series{
+		{Name: "equalizer", Values: []float64{2.8, 1.1}},
+		{Name: "baseline", Values: []float64{1, 1}},
+	}, 400, 300)
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "kmn") {
+		t.Fatalf("chart missing labels:\n%.200s", out)
+	}
+	if strings.Count(out, "<rect") < 5 { // background + legend + 4 bars
+		t.Fatal("too few bars drawn")
+	}
+}
+
+func TestBarChartEmptySafe(t *testing.T) {
+	out := BarChart("empty", nil, nil, 200, 100)
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("empty chart not closed")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	out := LineChart("Trace", "epoch", []Series{
+		{Name: "waiting", Values: []float64{1, 2, 3, 2}},
+		{Name: "xmem", Values: []float64{4, 3, 0, 0}},
+	}, 400, 300)
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("want two polylines")
+	}
+	if !strings.Contains(out, "epoch") {
+		t.Fatal("missing x label")
+	}
+}
+
+func TestPolylineDegenerate(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Polyline(nil, nil, "#000", 1)
+	c.Polyline([]float64{1}, []float64{1, 2}, "#000", 1)
+	if strings.Contains(c.String(), "<polyline") {
+		t.Fatal("degenerate polylines must be dropped")
+	}
+}
