@@ -24,15 +24,28 @@ import (
 	"time"
 
 	"equalizer/internal/exp"
+	"equalizer/internal/telemetry"
 )
 
 func main() {
 	var (
-		expName = flag.String("exp", "summary", "experiment id or 'all'")
-		scale   = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
-		asJSON  = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost)")
+		expName    = flag.String("exp", "summary", "experiment id or 'all'")
+		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	stopProfiling, err := telemetry.StartProfiling(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
+		}
+	}()
 	if *asJSON {
 		h := exp.New(exp.Options{GridScale: *scale})
 		if err := runJSON(h, *expName); err != nil {

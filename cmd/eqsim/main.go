@@ -23,6 +23,7 @@ import (
 	"equalizer/internal/kernels"
 	"equalizer/internal/policy"
 	"equalizer/internal/power"
+	"equalizer/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +35,22 @@ func main() {
 		blocks     = flag.Int("blocks", 0, "static per-SM block limit (0 = kernel maximum)")
 		verbose    = flag.Bool("v", false, "print per-invocation results")
 		list       = flag.Bool("list", false, "list all kernels and exit")
+		metrics    = flag.String("metrics", "", "write machine counters to this file after the run")
+		metricsFmt = flag.String("metrics-format", "prom", "metrics file format: prom | json")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	switch *metricsFmt {
+	case "prom", "json":
+	default:
+		fatal(fmt.Errorf("unknown -metrics-format %q (want prom or json)", *metricsFmt))
+	}
+	stopProfiling, err := telemetry.StartProfiling(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Printf("%-10s %-12s %-12s %7s %5s %6s %5s\n",
@@ -97,6 +112,31 @@ func main() {
 	}
 	fmt.Printf("kernel %-8s policy %-24s time %10.3f ms  energy %9.4f J  mean power %6.1f W\n",
 		k.Name, name, float64(totalPS)/1e9, totalJ, totalJ/(float64(totalPS)*1e-12))
+
+	if *metrics != "" {
+		if err := writeMetrics(m, *metrics, *metricsFmt); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProfiling(); err != nil {
+		fatal(err)
+	}
+}
+
+// writeMetrics snapshots the machine's counters into a registry and writes
+// it in Prometheus text or JSON form.
+func writeMetrics(m *gpu.Machine, path, format string) error {
+	reg := telemetry.NewRegistry()
+	m.Collect(reg)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "json" {
+		return reg.WriteJSON(f)
+	}
+	return reg.WritePrometheus(f)
 }
 
 func buildPolicy(name string, blocks int) (gpu.Policy, bool, error) {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadMode(t *testing.T) {
+	err := run(options{kernel: "spmv", mode: "turbo", format: "table", sm: "0"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-mode") {
+		t.Fatalf("want -mode error, got %v", err)
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	err := run(options{kernel: "spmv", mode: "performance", format: "xml", sm: "0"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-format") {
+		t.Fatalf("want -format error, got %v", err)
+	}
+}
+
+func TestRunRejectsBadSM(t *testing.T) {
+	for _, spec := range []string{"x", "-1", "99"} {
+		err := run(options{kernel: "spmv", mode: "performance", format: "table", sm: spec}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-sm") {
+			t.Fatalf("-sm %q: want error, got %v", spec, err)
+		}
+	}
+}
+
+func TestSelectSMs(t *testing.T) {
+	sms, err := selectSMs("all", 4)
+	if err != nil || len(sms) != 4 || sms[0] != 0 || sms[3] != 3 {
+		t.Fatalf("all: got %v, %v", sms, err)
+	}
+	sms, err = selectSMs("2", 4)
+	if err != nil || len(sms) != 1 || sms[0] != 2 {
+		t.Fatalf("2: got %v, %v", sms, err)
+	}
+}
+
+func TestCSVAllSMs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{kernel: "mri_g-2", mode: "energy", format: "csv", sm: "all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("no data rows")
+	}
+	if got := strings.Join(rows[0], ","); got != "sm,epoch,active,waiting,xalu,xmem,blocks,sm_vf,mem_vf" {
+		t.Fatalf("bad header: %s", got)
+	}
+	sms := map[string]bool{}
+	for _, r := range rows[1:] {
+		sms[r[0]] = true
+	}
+	if len(sms) < 2 {
+		t.Fatalf("-sm all should cover multiple SMs, got %d", len(sms))
+	}
+}
+
+func TestJSONSingleSM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{kernel: "mri_g-2", mode: "performance", format: "json", sm: "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Kernel string `json:"kernel"`
+		SMs    []struct {
+			SM     int               `json:"sm"`
+			Epochs []json.RawMessage `json:"epochs"`
+		} `json:"sms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Kernel != "mri_g-2" || len(doc.SMs) != 1 || doc.SMs[0].SM != 1 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if len(doc.SMs[0].Epochs) == 0 {
+		t.Fatal("no epochs recorded")
+	}
+}
+
+// TestChromeTraceCoversAllSMs is the acceptance test for the chrome
+// exporter: `eqtrace -kernel spmv -format chrome` must produce valid Chrome
+// trace-event JSON with block-residency spans on every SM, not just SM 0.
+func TestChromeTraceCoversAllSMs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(options{
+		kernel: "spmv", mode: "performance", format: "chrome", sm: "0", events: 1 << 19,
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	const numSMs = 15
+	named := map[int]bool{}   // pids with a process_name metadata record
+	spanned := map[int]bool{} // SM pids carrying at least one block span
+	sawEpoch, sawVF := false, false
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			named[e.PID] = true
+		case e.Ph == "X" && e.PID >= 1 && strings.HasPrefix(e.Name, "block "):
+			if e.Dur < 0 {
+				t.Fatalf("negative span duration: %+v", e)
+			}
+			spanned[e.PID] = true
+		case e.PID == 0 && strings.HasPrefix(e.Name, "epoch "):
+			sawEpoch = true
+		case e.Ph == "C" && strings.HasPrefix(e.Name, "vf "):
+			sawVF = true
+		}
+	}
+	for pid := 0; pid <= numSMs; pid++ {
+		if !named[pid] {
+			t.Errorf("process %d missing metadata record", pid)
+		}
+	}
+	for pid := 1; pid <= numSMs; pid++ {
+		if !spanned[pid] {
+			t.Errorf("SM %d (pid %d) has no block spans", pid-1, pid)
+		}
+	}
+	if !sawEpoch {
+		t.Error("no epoch events on the machine process")
+	}
+	if !sawVF {
+		t.Error("no VF-level counter events")
+	}
+}

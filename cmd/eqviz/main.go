@@ -19,15 +19,28 @@ import (
 
 	"equalizer/internal/exp"
 	"equalizer/internal/svg"
+	"equalizer/internal/telemetry"
 )
 
 func main() {
 	var (
-		outDir  = flag.String("out", "figures", "output directory for .svg files")
-		expName = flag.String("exp", "all", "figure id or 'all'")
-		scale   = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+		outDir     = flag.String("out", "figures", "output directory for .svg files")
+		expName    = flag.String("exp", "all", "figure id or 'all'")
+		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProfiling, err := telemetry.StartProfiling(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)

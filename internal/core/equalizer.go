@@ -23,6 +23,7 @@ import (
 	"equalizer/internal/config"
 	"equalizer/internal/gpu"
 	"equalizer/internal/kernels"
+	"equalizer/internal/telemetry"
 )
 
 // Mode is Equalizer's objective.
@@ -221,9 +222,9 @@ func Majority(votes []Vote) (smStep, memStep int) {
 type TracePoint struct {
 	// Epoch is the 1-based epoch index within the invocation.
 	Epoch int
-	// Counters are SM 0's per-sample averages for the epoch.
+	// Counters are the SM's per-sample averages for the epoch.
 	Counters Counters
-	// TargetBlocks is SM 0's concurrency ceiling after the decision.
+	// TargetBlocks is the SM's concurrency ceiling after the decision.
 	TargetBlocks int
 	// ActiveWarps is the mean active warp count (post-pausing concurrency).
 	ActiveWarps float64
@@ -251,16 +252,16 @@ type Equalizer struct {
 	DisableFrequency bool
 	// DisableBlocks suppresses concurrency changes.
 	DisableBlocks bool
-	// Record enables per-epoch trace collection on SM 0.
+	// Record enables per-epoch trace collection on every SM.
 	Record bool
 
 	// wcta holds the warps-per-block threshold for each SM; entries differ
 	// only when kernels run concurrently on disjoint SM partitions.
-	wcta  []int
-	accum []smAccum
-	votes []Vote
-	trace []TracePoint
-	epoch int
+	wcta   []int
+	accum  []smAccum
+	votes  []Vote
+	traces [][]TracePoint
+	epoch  int
 }
 
 var _ gpu.Policy = (*Equalizer)(nil)
@@ -286,9 +287,21 @@ func (e *Equalizer) Mode() Mode { return e.mode }
 // Name implements gpu.Policy.
 func (e *Equalizer) Name() string { return "equalizer-" + e.mode.String() }
 
-// Trace returns the recorded per-epoch points (Record must be set before
-// the run).
-func (e *Equalizer) Trace() []TracePoint { return e.trace }
+// Trace returns SM 0's recorded per-epoch points (Record must be set before
+// the run). The adaptivity figures plot SM 0 as the representative SM.
+func (e *Equalizer) Trace() []TracePoint { return e.TraceSM(0) }
+
+// TraceSM returns the recorded per-epoch points of one SM, or nil when the
+// index is out of range or nothing was recorded.
+func (e *Equalizer) TraceSM(i int) []TracePoint {
+	if i < 0 || i >= len(e.traces) {
+		return nil
+	}
+	return e.traces[i]
+}
+
+// TracedSMs returns the number of SMs with recorded traces.
+func (e *Equalizer) TracedSMs() int { return len(e.traces) }
 
 // Reset implements gpu.Policy.
 func (e *Equalizer) Reset(m *gpu.Machine, k kernels.Kernel) {
@@ -299,7 +312,7 @@ func (e *Equalizer) Reset(m *gpu.Machine, k kernels.Kernel) {
 	}
 	e.accum = make([]smAccum, n)
 	e.votes = make([]Vote, n)
-	e.trace = e.trace[:0]
+	e.traces = make([][]TracePoint, n)
 	e.epoch = 0
 }
 
@@ -331,27 +344,36 @@ func (e *Equalizer) OnSMCycle(m *gpu.Machine, now clock.Time, smCycle int64) {
 		return
 	}
 	e.epoch++
-	e.decideEpoch(m)
+	e.decideEpoch(m, int64(now))
 }
 
-func (e *Equalizer) decideEpoch(m *gpu.Machine) {
-	var c0 Counters
+func (e *Equalizer) decideEpoch(m *gpu.Machine, nowPS int64) {
+	bus := m.Bus()
 	for i := range e.accum {
 		a := &e.accum[i]
 		c := a.counters()
-		if i == 0 {
-			c0 = c
-		}
 		d := Decide(c, e.wcta[i], e.cfg.MemSaturationWarps)
+		bus.Emit(nowPS, telemetry.KindEpochDecision, int16(i),
+			int64(d.Tendency), int64(d.BlockDelta))
 		e.votes[i] = VoteFor(d.Tendency, e.mode)
 		if !e.DisableBlocks {
 			e.applyBlockDecision(m, i, a, d.BlockDelta)
 		}
+		if e.Record {
+			e.traces[i] = append(e.traces[i], TracePoint{
+				Epoch:        e.epoch,
+				Counters:     c,
+				TargetBlocks: m.SM(i).TargetBlocks(),
+				ActiveWarps:  c.Active,
+				SMLevel:      m.SMLevel(),
+				MemLevel:     m.MemLevel(),
+			})
+		}
 		a.reset()
 	}
 
+	smStep, memStep := Majority(e.votes)
 	if !e.DisableFrequency {
-		smStep, memStep := Majority(e.votes)
 		if smStep != 0 {
 			m.RequestSMLevel(Clamp(m.SMLevel().Step(smStep), e.mode))
 		}
@@ -359,17 +381,10 @@ func (e *Equalizer) decideEpoch(m *gpu.Machine) {
 			m.RequestMemLevel(Clamp(m.MemLevel().Step(memStep), e.mode))
 		}
 	}
-
-	if e.Record {
-		e.trace = append(e.trace, TracePoint{
-			Epoch:        e.epoch,
-			Counters:     c0,
-			TargetBlocks: m.SM(0).TargetBlocks(),
-			ActiveWarps:  c0.Active,
-			SMLevel:      m.SMLevel(),
-			MemLevel:     m.MemLevel(),
-		})
-	}
+	// The packed vote outcome biases each step by +1 so that the two-bit
+	// fields stay non-negative: 0=down 1=hold 2=up.
+	bus.Emit(nowPS, telemetry.KindEpoch, -1, int64(e.epoch),
+		int64(smStep+1)<<2|int64(memStep+1))
 }
 
 // applyBlockDecision enforces the three-consecutive-epoch hysteresis of

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"equalizer/internal/cache"
+	"equalizer/internal/telemetry"
 )
 
 // BankedConfig parameterises the banked FR-FCFS controller, a closer model
@@ -99,6 +100,9 @@ type Banked struct {
 	inService []inflight
 	completed []cache.Addr
 	stats     BankedStats
+
+	probe    *telemetry.Bus
+	probeNow func() int64
 }
 
 // NewBanked builds a banked controller.
@@ -126,6 +130,15 @@ func MustNewBanked(cfg BankedConfig) *Banked {
 	return b
 }
 
+// SetProbe wires the controller to a telemetry bus: every serviced request
+// emits KindDRAMRowHit or KindDRAMRowMiss (a bank conflict paying the
+// precharge+activate penalty) with the bank as source, and rejected
+// Enqueue attempts emit KindDRAMReject. now supplies the owner's current
+// simulation time in picoseconds. A nil bus detaches the probe.
+func (b *Banked) SetProbe(bus *telemetry.Bus, now func() int64) {
+	b.probe, b.probeNow = bus, now
+}
+
 // bankOf maps a line address to its bank: consecutive rows interleave
 // across banks so streaming traffic exercises bank-level parallelism.
 func (b *Banked) bankOf(line cache.Addr) int {
@@ -144,6 +157,9 @@ func (b *Banked) CanAccept() bool { return b.pending < b.cfg.QueueDepth }
 func (b *Banked) Enqueue(line cache.Addr) bool {
 	if !b.CanAccept() {
 		b.stats.Rejected++
+		if b.probe.Enabled(telemetry.KindDRAMReject) {
+			b.probe.Emit(b.probeNow(), telemetry.KindDRAMReject, -1, int64(line), 0)
+		}
 		return false
 	}
 	bank := b.bankOf(line)
@@ -186,11 +202,16 @@ func (b *Banked) Step(now int64) []cache.Addr {
 		if bank := b.pickBank(); bank >= 0 {
 			line, hit := b.pickRequest(bank)
 			interval := b.cfg.RowMissInterval
+			kind := telemetry.KindDRAMRowMiss
 			if hit {
 				interval = b.cfg.RowHitInterval
+				kind = telemetry.KindDRAMRowHit
 				b.stats.RowHits++
 			} else {
 				b.stats.RowMisses++
+			}
+			if b.probe.Enabled(kind) {
+				b.probe.Emit(b.probeNow(), kind, int16(bank), int64(line), b.rowOf(line))
 			}
 			b.openRow[bank] = b.rowOf(line)
 			b.nextStart = now + int64(interval)

@@ -62,9 +62,19 @@ func RenderFigure10(rows []Fig10Row) string {
 		ccws = append(ccws, r.CCWS)
 		eq = append(eq, r.EqualizerPf)
 	}
-	t.AddRowf("GMEAN", metrics.Geomean(dyn), metrics.Geomean(ccws), metrics.Geomean(eq))
+	t.AddRow("GMEAN", gmeanCell(dyn), gmeanCell(ccws), gmeanCell(eq))
 	b.WriteString(t.String())
 	return b.String()
+}
+
+// gmeanCell formats a geomean table cell, degrading to "n/a" when a corrupt
+// sample makes the aggregate meaningless.
+func gmeanCell(xs []float64) string {
+	g, err := metrics.GeomeanErr(xs)
+	if err != nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", g)
 }
 
 // Fig11aData extends the Figure 2a study with Equalizer's block control

@@ -40,16 +40,24 @@ func (h *Harness) Figure7() ([]Fig7Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Fig7Row{
+		r := Fig7Row{
 			Kernel:          k.Name,
 			Category:        k.Category,
-			Equalizer:       eq.Speedup(base),
-			SMBoost:         smB.Speedup(base),
-			MemBoost:        memB.Speedup(base),
 			EqualizerEnergy: eq.EnergyDelta(base),
 			SMBoostEnergy:   smB.EnergyDelta(base),
 			MemBoostEnergy:  memB.EnergyDelta(base),
-		})
+		}
+		for _, v := range []struct {
+			dst *float64
+			t   Totals
+		}{{&r.Equalizer, eq}, {&r.SMBoost, smB}, {&r.MemBoost, memB}} {
+			s, err := v.t.SpeedupErr(base)
+			if err != nil {
+				return nil, fmt.Errorf("figure 7: kernel %s: %w", k.Name, err)
+			}
+			*v.dst = s
+		}
+		rows = append(rows, r)
 	}
 	return rows, nil
 }
@@ -63,8 +71,10 @@ type Fig7Summary struct {
 	PerCategory map[kernels.Category]float64
 }
 
-// SummarizeFigure7 computes geomean speedups and mean energy deltas.
-func SummarizeFigure7(rows []Fig7Row) Fig7Summary {
+// SummarizeFigure7 computes geomean speedups and mean energy deltas. A row
+// carrying a non-positive speedup (a corrupt run) is reported as an error
+// rather than aborting the process.
+func SummarizeFigure7(rows []Fig7Row) (Fig7Summary, error) {
 	var eq, sm, mem, eqE, smE, memE []float64
 	perCat := map[kernels.Category][]float64{}
 	for _, r := range rows {
@@ -77,18 +87,27 @@ func SummarizeFigure7(rows []Fig7Row) Fig7Summary {
 		perCat[r.Category] = append(perCat[r.Category], r.Equalizer)
 	}
 	s := Fig7Summary{
-		EqSpeedup:   metrics.Geomean(eq),
-		SMSpeedup:   metrics.Geomean(sm),
-		MemSpeedup:  metrics.Geomean(mem),
 		EqEnergy:    metrics.Mean(eqE),
 		SMEnergy:    metrics.Mean(smE),
 		MemEnergy:   metrics.Mean(memE),
 		PerCategory: map[kernels.Category]float64{},
 	}
-	for c, xs := range perCat {
-		s.PerCategory[c] = metrics.Geomean(xs)
+	var err error
+	if s.EqSpeedup, err = metrics.GeomeanErr(eq); err != nil {
+		return s, fmt.Errorf("figure 7 equalizer speedups: %w", err)
 	}
-	return s
+	if s.SMSpeedup, err = metrics.GeomeanErr(sm); err != nil {
+		return s, fmt.Errorf("figure 7 sm-boost speedups: %w", err)
+	}
+	if s.MemSpeedup, err = metrics.GeomeanErr(mem); err != nil {
+		return s, fmt.Errorf("figure 7 mem-boost speedups: %w", err)
+	}
+	for c, xs := range perCat {
+		if s.PerCategory[c], err = metrics.GeomeanErr(xs); err != nil {
+			return s, fmt.Errorf("figure 7 category %s: %w", c, err)
+		}
+	}
+	return s, nil
 }
 
 // RenderFigure7 formats the performance-mode evaluation.
@@ -104,7 +123,11 @@ func RenderFigure7(rows []Fig7Row) string {
 			metrics.Pct(r.EqualizerEnergy), metrics.Pct(r.SMBoostEnergy), metrics.Pct(r.MemBoostEnergy))
 	}
 	b.WriteString(t.String())
-	s := SummarizeFigure7(rows)
+	s, err := SummarizeFigure7(rows)
+	if err != nil {
+		fmt.Fprintf(&b, "summary unavailable: %v\n", err)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "geomean speedup: equalizer %.3f, sm-boost %.3f, mem-boost %.3f\n",
 		s.EqSpeedup, s.SMSpeedup, s.MemSpeedup)
 	fmt.Fprintf(&b, "mean energy delta: equalizer %s, sm-boost %s, mem-boost %s\n",
@@ -152,12 +175,19 @@ func (h *Harness) Figure8() ([]Fig8Row, error) {
 		r := Fig8Row{
 			Kernel:           k.Name,
 			Category:         k.Category,
-			Equalizer:        eq.Speedup(base),
-			SMLow:            smL.Speedup(base),
-			MemLow:           memL.Speedup(base),
 			EqualizerSavings: eq.EnergySavings(base),
 			SMLowSavings:     smL.EnergySavings(base),
 			MemLowSavings:    memL.EnergySavings(base),
+		}
+		for _, v := range []struct {
+			dst *float64
+			t   Totals
+		}{{&r.Equalizer, eq}, {&r.SMLow, smL}, {&r.MemLow, memL}} {
+			s, err := v.t.SpeedupErr(base)
+			if err != nil {
+				return nil, fmt.Errorf("figure 8: kernel %s: %w", k.Name, err)
+			}
+			*v.dst = s
 		}
 		// Static best: the bigger saving whose performance stays >= 0.95.
 		if r.SMLow >= 0.95 && r.SMLowSavings > r.StaticBest {
@@ -180,8 +210,10 @@ type Fig8Summary struct {
 	PerCategoryPerf               map[kernels.Category]float64
 }
 
-// SummarizeFigure8 computes the aggregates.
-func SummarizeFigure8(rows []Fig8Row) Fig8Summary {
+// SummarizeFigure8 computes the aggregates. A row carrying a non-positive
+// performance ratio (a corrupt run) is reported as an error rather than
+// aborting the process.
+func SummarizeFigure8(rows []Fig8Row) (Fig8Summary, error) {
 	var eqP, smP, memP, eqS, sb []float64
 	catS := map[kernels.Category][]float64{}
 	catP := map[kernels.Category][]float64{}
@@ -195,21 +227,30 @@ func SummarizeFigure8(rows []Fig8Row) Fig8Summary {
 		catP[r.Category] = append(catP[r.Category], r.Equalizer)
 	}
 	s := Fig8Summary{
-		EqPerf:             metrics.Geomean(eqP),
-		SMLowPerf:          metrics.Geomean(smP),
-		MemLowPerf:         metrics.Geomean(memP),
 		EqSavings:          metrics.Mean(eqS),
 		StaticBest:         metrics.Mean(sb),
 		PerCategorySavings: map[kernels.Category]float64{},
 		PerCategoryPerf:    map[kernels.Category]float64{},
 	}
+	var err error
+	if s.EqPerf, err = metrics.GeomeanErr(eqP); err != nil {
+		return s, fmt.Errorf("figure 8 equalizer performance: %w", err)
+	}
+	if s.SMLowPerf, err = metrics.GeomeanErr(smP); err != nil {
+		return s, fmt.Errorf("figure 8 sm-low performance: %w", err)
+	}
+	if s.MemLowPerf, err = metrics.GeomeanErr(memP); err != nil {
+		return s, fmt.Errorf("figure 8 mem-low performance: %w", err)
+	}
 	for c, xs := range catS {
 		s.PerCategorySavings[c] = metrics.Mean(xs)
 	}
 	for c, xs := range catP {
-		s.PerCategoryPerf[c] = metrics.Geomean(xs)
+		if s.PerCategoryPerf[c], err = metrics.GeomeanErr(xs); err != nil {
+			return s, fmt.Errorf("figure 8 category %s: %w", c, err)
+		}
 	}
-	return s
+	return s, nil
 }
 
 // RenderFigure8 formats the energy-mode evaluation.
@@ -225,7 +266,11 @@ func RenderFigure8(rows []Fig8Row) string {
 			metrics.Pct(r.EqualizerSavings), metrics.Pct(r.StaticBest))
 	}
 	b.WriteString(t.String())
-	s := SummarizeFigure8(rows)
+	s, err := SummarizeFigure8(rows)
+	if err != nil {
+		fmt.Fprintf(&b, "summary unavailable: %v\n", err)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "geomean performance: equalizer %.3f, sm-low %.3f, mem-low %.3f\n",
 		s.EqPerf, s.SMLowPerf, s.MemLowPerf)
 	fmt.Fprintf(&b, "mean energy savings: equalizer %s, static best (P>0.95) %s\n",
@@ -312,8 +357,14 @@ func (h *Harness) Summarize() (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
-	s7 := SummarizeFigure7(f7)
-	s8 := SummarizeFigure8(f8)
+	s7, err := SummarizeFigure7(f7)
+	if err != nil {
+		return Summary{}, err
+	}
+	s8, err := SummarizeFigure8(f8)
+	if err != nil {
+		return Summary{}, err
+	}
 	return Summary{
 		PerfModeSpeedup:     s7.EqSpeedup,
 		PerfModeEnergyDelta: s7.EqEnergy,

@@ -133,7 +133,7 @@ func RenderBoostComparison(rows []BoostRow) string {
 		be = append(be, r.BoostEnergy)
 		ee = append(ee, r.EqualizerEnergy)
 	}
-	t.AddRowf("GMEAN", "", metrics.Geomean(bs), metrics.Geomean(es),
+	t.AddRow("GMEAN", "", gmeanCell(bs), gmeanCell(es),
 		metrics.Pct(metrics.Mean(be)), metrics.Pct(metrics.Mean(ee)))
 	b.WriteString(t.String())
 	b.WriteString("boost raises the core clock whenever power headroom exists, so memory-\n" +

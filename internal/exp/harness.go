@@ -12,6 +12,7 @@ import (
 	"equalizer/internal/core"
 	"equalizer/internal/gpu"
 	"equalizer/internal/kernels"
+	"equalizer/internal/metrics"
 	"equalizer/internal/policy"
 	"equalizer/internal/power"
 )
@@ -71,6 +72,13 @@ type Totals struct {
 // Speedup returns base.Time / t.Time.
 func (t Totals) Speedup(base Totals) float64 {
 	return float64(base.TimePS) / float64(t.TimePS)
+}
+
+// SpeedupErr is Speedup with error reporting: a run that recorded zero
+// simulated time (a failed or empty kernel launch) returns an error instead
+// of propagating Inf or NaN into downstream aggregates.
+func (t Totals) SpeedupErr(base Totals) (float64, error) {
+	return metrics.RatioErr(float64(base.TimePS), float64(t.TimePS))
 }
 
 // EnergyDelta returns t.Energy/base.Energy - 1 (positive = more energy).

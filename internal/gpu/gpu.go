@@ -19,6 +19,7 @@ import (
 	"equalizer/internal/kernels"
 	"equalizer/internal/power"
 	"equalizer/internal/sm"
+	"equalizer/internal/telemetry"
 	"equalizer/internal/warp"
 )
 
@@ -30,6 +31,7 @@ type memController interface {
 	Step(now int64) []cache.Addr
 	Drained() bool
 	Stats() dram.Stats
+	SetProbe(b *telemetry.Bus, now func() int64)
 }
 
 // newMemController selects the DRAM model from the configuration.
@@ -128,6 +130,14 @@ type Machine struct {
 	seenSM         power.SMTotals
 	seenMem        power.MemTotals
 	memCycle       int64
+
+	// Telemetry: bus is nil (free) until AttachTelemetry; lastMemNowPS
+	// timestamps memory-partition probes and vfRequestPS records in-flight
+	// regulator requests so VF-shift events can carry switching latency.
+	bus          *telemetry.Bus
+	lastMemNowPS int64
+	vfRequestPS  [2]int64
+	vfRequested  [2]bool
 }
 
 // New builds a machine. The policy may be nil (pure baseline, no tuning).
@@ -170,6 +180,32 @@ func MustNew(cfg config.GPU, pcfg power.Config, policy Policy) *Machine {
 	}
 	return m
 }
+
+// AttachTelemetry wires a probe bus through every layer of the machine: the
+// SMs (warp issue, stall census, block residency, CTA pausing) and their L1
+// caches, the shared L2, the interconnect, the memory controller, and the
+// machine itself (kernel boundaries, VF transitions). A nil bus detaches
+// everything; probes on a detached machine cost nothing.
+func (m *Machine) AttachTelemetry(b *telemetry.Bus) {
+	m.bus = b
+	for _, s := range m.sms {
+		s.SetProbe(b)
+	}
+	if b == nil {
+		m.l2.SetProbe(nil, 0, 0, 0, nil)
+		m.net.SetProbe(nil, nil)
+		m.dram.SetProbe(nil, nil)
+		return
+	}
+	memNow := func() int64 { return m.lastMemNowPS }
+	m.l2.SetProbe(b, telemetry.KindL2Access, telemetry.KindL2Evict, -1, memNow)
+	m.net.SetProbe(b, memNow)
+	m.dram.SetProbe(b, memNow)
+}
+
+// Bus returns the attached telemetry bus (nil when detached). Policies use
+// it to emit their own events; Emit on a nil bus is a no-op.
+func (m *Machine) Bus() *telemetry.Bus { return m.bus }
 
 // Config returns the hardware configuration.
 func (m *Machine) Config() config.GPU { return m.cfg }
@@ -231,6 +267,11 @@ func (m *Machine) partitionOf(i int) *partition {
 func (m *Machine) RequestSMLevel(target config.VFLevel) {
 	delay := m.smDomain.CyclesToTime(m.cfg.VRMTransitionCycles)
 	m.smDomain.RequestLevel(target, m.smDomain.Next()+delay)
+	if target != m.lastSMLevel && m.bus.Enabled(telemetry.KindVFRequest) {
+		now := int64(m.smDomain.Next())
+		m.vfRequestPS[telemetry.DomainSM], m.vfRequested[telemetry.DomainSM] = now, true
+		m.bus.Emit(now, telemetry.KindVFRequest, telemetry.DomainSM, int64(target), 0)
+	}
 }
 
 // RequestMemLevel is RequestSMLevel for the memory system (interconnect, L2,
@@ -238,6 +279,11 @@ func (m *Machine) RequestSMLevel(target config.VFLevel) {
 func (m *Machine) RequestMemLevel(target config.VFLevel) {
 	delay := m.smDomain.CyclesToTime(m.cfg.VRMTransitionCycles)
 	m.memDomain.RequestLevel(target, m.memDomain.Next()+delay)
+	if target != m.lastMemLevel && m.bus.Enabled(telemetry.KindVFRequest) {
+		now := int64(m.memDomain.Next())
+		m.vfRequestPS[telemetry.DomainMem], m.vfRequested[telemetry.DomainMem] = now, true
+		m.bus.Emit(now, telemetry.KindVFRequest, telemetry.DomainMem, int64(target), 0)
+	}
 }
 
 // SetLevelsImmediate forces both domains to a level with no regulator delay;
@@ -389,6 +435,10 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 	}
 
 	startPS := int64(m.smDomain.Next())
+	for p := range m.parts {
+		m.bus.Emit(startPS, telemetry.KindKernelBegin, int16(p),
+			int64(m.parts[p].inv), int64(m.parts[p].totalBlocks))
+	}
 	startSMCycles := m.smDomain.Cycle()
 	m.flushPower()
 	m.meter.Reset()
@@ -498,6 +548,7 @@ func (m *Machine) done(nowPS int64) bool {
 		}
 		if idle {
 			pt.finishPS = nowPS
+			m.bus.Emit(nowPS, telemetry.KindKernelEnd, int16(p), int64(pt.inv), 0)
 		} else {
 			allDone = false
 		}
@@ -530,6 +581,7 @@ func (m *Machine) dispatchBlocks(nowPS int64) {
 
 // stepMemory advances the memory partition by one memory-domain cycle.
 func (m *Machine) stepMemory(now clock.Time) {
+	m.lastMemNowPS = int64(now)
 	// 1. DRAM completions fill the L2 and answer every waiting SM.
 	for _, line := range m.dram.Step(m.memCycle) {
 		m.l2.Fill(line)
@@ -624,6 +676,7 @@ func (m *Machine) afterSMLevelChange(now clock.Time) {
 	}
 	m.flushSMPower(int64(now))
 	m.lastSMLevel = m.smDomain.Level()
+	m.emitVFShift(telemetry.DomainSM, int64(now), m.lastSMLevel)
 }
 
 func (m *Machine) afterMemLevelChange(now clock.Time) {
@@ -632,6 +685,21 @@ func (m *Machine) afterMemLevelChange(now clock.Time) {
 	}
 	m.flushMemPower(int64(now))
 	m.lastMemLevel = m.memDomain.Level()
+	m.emitVFShift(telemetry.DomainMem, int64(now), m.lastMemLevel)
+}
+
+// emitVFShift records a VF level becoming effective, carrying the
+// request-to-effective switching latency when the request was observed.
+func (m *Machine) emitVFShift(domain int16, nowPS int64, level config.VFLevel) {
+	if !m.bus.Enabled(telemetry.KindVFShift) {
+		return
+	}
+	var latency int64
+	if m.vfRequested[domain] {
+		latency = nowPS - m.vfRequestPS[domain]
+		m.vfRequested[domain] = false
+	}
+	m.bus.Emit(nowPS, telemetry.KindVFShift, domain, int64(level), latency)
 }
 
 func (m *Machine) flushSMPower(nowPS int64) {

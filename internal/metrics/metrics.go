@@ -27,6 +27,23 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
+// GeomeanErr is Geomean with error reporting instead of a panic: a
+// non-positive sample — one broken kernel run in a sweep — returns a
+// descriptive error rather than killing the whole aggregation.
+func GeomeanErr(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive sample %g at index %d in geomean", x, i)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
 // Mean returns the arithmetic mean, or zero for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -46,6 +63,15 @@ func Ratio(a, b float64) float64 {
 		panic("metrics: zero denominator")
 	}
 	return a / b
+}
+
+// RatioErr is Ratio with error reporting instead of a panic, for callers
+// aggregating many runs where one empty result should not abort the rest.
+func RatioErr(a, b float64) (float64, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("metrics: zero denominator for ratio %g/0", a)
+	}
+	return a / b, nil
 }
 
 // Pct formats a fraction as a signed percentage ("+12.3%", "-4.0%").
@@ -109,15 +135,19 @@ func (t *Table) AddRowf(cells ...interface{}) {
 	t.AddRow(row...)
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows longer than the
+// header get their own columns rather than collapsing into the last one.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
+		for len(widths) < len(row) {
+			widths = append(widths, 0)
+		}
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -128,7 +158,7 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
 		b.WriteString("\n")
 	}
@@ -142,11 +172,4 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

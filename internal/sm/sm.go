@@ -16,6 +16,7 @@ import (
 	"equalizer/internal/clock"
 	"equalizer/internal/config"
 	"equalizer/internal/events"
+	"equalizer/internal/telemetry"
 	"equalizer/internal/warp"
 )
 
@@ -198,6 +199,12 @@ type SM struct {
 	filter   IssueFilter
 	listener L1Listener
 
+	// probe is the telemetry bus (nil = disabled, free); nowPS tracks the
+	// current Step time so events emitted outside Step (block launches from
+	// the dispatcher, pausing from the policy) carry a timestamp.
+	probe *telemetry.Bus
+	nowPS int64
+
 	snap  Snapshot
 	stats Stats
 
@@ -242,6 +249,20 @@ func (s *SM) SetIssueFilter(f IssueFilter) { s.filter = f }
 // SetL1Listener installs (or clears, with nil) an L1 activity observer.
 func (s *SM) SetL1Listener(l L1Listener) { s.listener = l }
 
+// SetProbe wires the SM (and its L1 cache) to a telemetry bus. The SM emits
+// warp-issue events, the per-cycle stall census, block launch/finish and
+// CTA pause/unpause transitions; the L1 emits access and eviction events.
+// A nil bus detaches everything.
+func (s *SM) SetProbe(b *telemetry.Bus) {
+	s.probe = b
+	if b == nil {
+		s.l1.SetProbe(nil, 0, 0, 0, nil)
+		return
+	}
+	s.l1.SetProbe(b, telemetry.KindL1Access, telemetry.KindL1Evict,
+		int16(s.index), func() int64 { return s.nowPS })
+}
+
 // ResidentBlocks returns the number of blocks currently occupying slots.
 func (s *SM) ResidentBlocks() int { return s.residentBlocks }
 
@@ -276,6 +297,8 @@ func (s *SM) rebalancePausing() {
 		if b.valid && !b.paused {
 			b.paused = true
 			s.activeBlocks--
+			s.probe.Emit(s.nowPS, telemetry.KindCTAPause, int16(s.index),
+				int64(i), int64(b.globalID))
 		}
 	}
 	// Unpause from the lowest slot upwards while below target.
@@ -284,6 +307,8 @@ func (s *SM) rebalancePausing() {
 		if b.valid && b.paused {
 			b.paused = false
 			s.activeBlocks++
+			s.probe.Emit(s.nowPS, telemetry.KindCTAUnpause, int16(s.index),
+				int64(i), int64(b.globalID))
 		}
 	}
 }
@@ -331,6 +356,8 @@ func (s *SM) LaunchBlock(prof *warp.Profile, globalID, wcta int) {
 	s.activeBlocks++
 	s.liveWarps += wcta
 	s.stats.BlocksLaunched++
+	s.probe.Emit(s.nowPS, telemetry.KindBlockLaunch, int16(s.index),
+		int64(globalID), int64(slot)<<16|int64(wcta))
 	// A newly launched block may immediately exceed the ceiling if the
 	// policy lowered it since admission was checked.
 	if s.activeBlocks > s.targetBlocks {
@@ -382,6 +409,7 @@ func (s *SM) Idle() bool {
 // cycle boundary). smPeriod is the current SM clock period, used to convert
 // latencies expressed in SM cycles into absolute times.
 func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
+	s.nowPS = int64(now)
 	s.stats.Cycles++
 	if s.residentBlocks > 0 {
 		s.stats.ActiveCycles++
@@ -507,11 +535,14 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 	issued := 0
 	if bestALU >= 0 {
 		w := &s.warps[bestALU]
+		pipe := telemetry.PipeALU
 		if w.cur.Kind == warp.SFU {
 			s.stats.IssuedSFU++
+			pipe = telemetry.PipeSFU
 		} else {
 			s.stats.IssuedALU++
 		}
+		s.probe.Emit(int64(now), telemetry.KindWarpIssue, int16(s.index), int64(bestALU), pipe)
 		w.readyAt = now + clock.Time(w.cur.Gap)*smPeriod
 		w.hasCur = false
 		issued++
@@ -527,6 +558,8 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		})
 		w.pendingLines = 1 + int(w.cur.ExtraLines)
 		s.stats.IssuedMEM++
+		s.probe.Emit(int64(now), telemetry.KindWarpIssue, int16(s.index),
+			int64(bestMEM), telemetry.PipeMEM)
 		w.hasCur = false
 		issued++
 		readyMEM--
@@ -541,6 +574,8 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		})
 		w.pendingLines = 1 + int(w.cur.ExtraLines)
 		s.stats.IssuedTEX++
+		s.probe.Emit(int64(now), telemetry.KindWarpIssue, int16(s.index),
+			int64(bestTEX), telemetry.PipeTEX)
 		w.hasCur = false
 		issued++
 	}
@@ -549,6 +584,12 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 	snap.XALU = readyALU
 	snap.XMEM = readyMEM
 	s.snap = snap
+	if s.probe.Enabled(telemetry.KindStallCensus) {
+		packed := int64(snap.Active)<<24 | int64(snap.Waiting)<<16 |
+			int64(snap.XALU)<<8 | int64(snap.XMEM)
+		s.probe.Emit(int64(now), telemetry.KindStallCensus, int16(s.index),
+			packed, int64(issued))
+	}
 }
 
 func (s *SM) arriveBarrier(ws int, now clock.Time) {
@@ -586,6 +627,8 @@ func (s *SM) finishWarp(ws int) {
 		s.warps[other] = warpCtx{}
 		s.freeWarpSlots = append(s.freeWarpSlots, other)
 	}
+	s.probe.Emit(s.nowPS, telemetry.KindBlockFinish, int16(s.index),
+		int64(b.globalID), int64(w.block))
 	wasPaused := b.paused
 	*b = blockCtx{warps: b.warps[:0]}
 	s.residentBlocks--

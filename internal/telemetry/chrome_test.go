@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a hand-crafted stream covering every span shape the
+// exporter renders: a kernel, two blocks on two SMs, an epoch with a
+// decision, a VF transition with regulator latency, and a CTA pause.
+func goldenEvents() []Event {
+	return []Event{
+		{TimePS: 0, Kind: KindKernelBegin, Src: 0, A: 0, B: 8},
+		{TimePS: 1_000_000, Kind: KindBlockLaunch, Src: 0, A: 0, B: 0<<16 | 6},
+		{TimePS: 1_000_000, Kind: KindBlockLaunch, Src: 1, A: 1, B: 1<<16 | 6},
+		{TimePS: 2_000_000, Kind: KindEpochDecision, Src: 0, A: 2, B: -1},
+		{TimePS: 2_000_000, Kind: KindEpochDecision, Src: 1, A: 1, B: 0},
+		{TimePS: 2_000_000, Kind: KindEpoch, Src: -1, A: 1, B: 2<<2 | 0}, // sm +1, mem -1
+		{TimePS: 2_100_000, Kind: KindVFRequest, Src: DomainSM, A: 2},
+		{TimePS: 2_500_000, Kind: KindVFShift, Src: DomainSM, A: 2, B: 400_000},
+		{TimePS: 3_000_000, Kind: KindCTAPause, Src: 1, A: 1, B: 1},
+		{TimePS: 4_000_000, Kind: KindCTAUnpause, Src: 1, A: 1, B: 1},
+		{TimePS: 4_500_000, Kind: KindBlockFinish, Src: 0, A: 0, B: 0},
+		{TimePS: 5_000_000, Kind: KindBlockFinish, Src: 1, A: 1, B: 1},
+		{TimePS: 6_000_000, Kind: KindKernelEnd, Src: 0, A: 0},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, goldenEvents(), ChromeOptions{NumSMs: 2, Kernel: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -run Golden -update ./internal/telemetry` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace diverges from %s (re-run with -update after intentional changes)\ngot:\n%s",
+			golden, buf.String())
+	}
+}
+
+// TestChromeTraceIsValidJSON double-checks the golden output parses as the
+// Chrome trace-event format and references only declared processes.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), ChromeOptions{NumSMs: 2, Kernel: "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	declared := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			declared[e.PID] = true
+		}
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if !declared[e.PID] {
+			t.Errorf("event %q on undeclared process %d", e.Name, e.PID)
+		}
+		if e.Ph == "X" {
+			spans++
+			if e.Dur < 0 || e.TS < 0 {
+				t.Errorf("negative time on span %q: ts=%g dur=%g", e.Name, e.TS, e.Dur)
+			}
+		}
+	}
+	// kernel + epoch + vf shift + 2 blocks + 1 pause.
+	if spans != 6 {
+		t.Errorf("span count = %d, want 6", spans)
+	}
+}
+
+// TestChromeTraceToleratesTruncation feeds a ring-truncated stream: a finish
+// without its launch must be ignored, and a launch without its finish must
+// be closed at the trace end.
+func TestChromeTraceToleratesTruncation(t *testing.T) {
+	events := []Event{
+		// Orphaned finish (launch was overwritten by ring wrap-around).
+		{TimePS: 1_000_000, Kind: KindBlockFinish, Src: 0, A: 7, B: 2},
+		// Orphaned unpause.
+		{TimePS: 1_500_000, Kind: KindCTAUnpause, Src: 0, A: 3, B: 9},
+		// Launch never finished (trace window ended first).
+		{TimePS: 2_000_000, Kind: KindBlockLaunch, Src: 1, A: 8, B: 1<<16 | 4},
+		{TimePS: 3_000_000, Kind: KindEpoch, Src: -1, A: 1, B: 1<<2 | 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, ChromeOptions{NumSMs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var sawOpenBlock bool
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Name == "block 7" {
+			t.Error("orphaned finish must not produce a span")
+		}
+		if e.Name == "block 8" {
+			sawOpenBlock = true
+			if end := e.TS + e.Dur; end != 3.0 {
+				t.Errorf("unclosed block must end at the final timestamp, ends at %g", end)
+			}
+		}
+	}
+	if !sawOpenBlock {
+		t.Error("unclosed launch must still render as a span")
+	}
+}
+
+func TestChromeTraceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, ChromeOptions{NumSMs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON for empty stream: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiling arms the Go profilers requested by the command-line tools:
+// cpuPath starts a CPU profile immediately, memPath schedules a heap profile
+// at stop time. Either path may be empty. The returned stop function must be
+// called (typically deferred from main) to flush the profiles.
+func StartProfiling(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("telemetry: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise final heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("telemetry: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests", Labels{"sm": "0"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same (name, labels) returns the same cell.
+	if r.Counter("requests_total", "requests", Labels{"sm": "0"}) != c {
+		t.Fatal("series handle not stable")
+	}
+	g := r.Gauge("depth", "", nil)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1.5, 3, 8, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: le=1 -> 1 (0.5), le=2 -> 3 (+1.5, +2), le=4 -> 4
+	// (+3), +Inf -> 5 (+8).
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 15`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusDeterministicOrder(t *testing.T) {
+	render := func() string {
+		r := NewRegistry()
+		// Register in scrambled order; export must sort by name then labels.
+		r.Counter("zzz_total", "", nil).Set(1)
+		r.Counter("aaa_total", "", Labels{"sm": "1"}).Set(2)
+		r.Counter("aaa_total", "", Labels{"sm": "0"}).Set(3)
+		r.Gauge("mmm", "mid", nil).Set(4)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("export order is not deterministic")
+		}
+	}
+	aaa := strings.Index(first, "aaa_total{sm=\"0\"}")
+	aaa1 := strings.Index(first, "aaa_total{sm=\"1\"}")
+	zzz := strings.Index(first, "zzz_total")
+	if !(aaa >= 0 && aaa < aaa1 && aaa1 < zzz) {
+		t.Fatalf("series out of order:\n%s", first)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "cache hits", Labels{"level": "l1"}).Set(7)
+	r.Histogram("ipc", "", []float64{1}, nil).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc []struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series []struct {
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Buckets map[string]uint64 `json:"buckets"`
+			Count   *uint64           `json:"count"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc) != 2 || doc[0].Name != "hits_total" || doc[1].Name != "ipc" {
+		t.Fatalf("unexpected families: %+v", doc)
+	}
+	if doc[0].Series[0].Value == nil || *doc[0].Series[0].Value != 7 {
+		t.Fatalf("counter value: %+v", doc[0].Series[0])
+	}
+	if doc[1].Series[0].Buckets["1"] != 1 || *doc[1].Series[0].Count != 1 {
+		t.Fatalf("histogram: %+v", doc[1].Series[0])
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two types must panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+// TestConcurrentUse exercises the registry under the race detector.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", "", Labels{"w": "x"}).Inc()
+				r.Gauge("g", "", nil).Set(float64(j))
+				r.Histogram("h", "", []float64{10, 100}, nil).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "", Labels{"w": "x"}).Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Histogram("h", "", []float64{10, 100}, nil).Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
+	}
+}
