@@ -15,6 +15,8 @@ import (
 // hundreds of milliseconds; run cmd/eqbench for full-scale numbers.
 const benchScale = 0.25
 
+// harness builds a cold harness at the default parallelism (GOMAXPROCS) with
+// no disk cache, so every iteration measures real simulation work.
 func harness() *exp.Harness { return exp.New(exp.Options{GridScale: benchScale}) }
 
 // BenchmarkTable2Registry regenerates Table II (the kernel registry).
@@ -137,10 +139,22 @@ func BenchmarkFigure11b(b *testing.B) {
 	}
 }
 
-// BenchmarkSummary regenerates the headline numbers (Figures 7 + 8).
+// BenchmarkSummary regenerates the headline numbers (Figures 7 + 8) on the
+// worker pool at the default parallelism.
 func BenchmarkSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := harness()
+		if _, err := h.Summarize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummarySequential is the one-worker reference for BenchmarkSummary:
+// the ratio of the two is the worker pool's wall-clock win on this machine.
+func BenchmarkSummarySequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := exp.New(exp.Options{GridScale: benchScale, Parallelism: 1})
 		if _, err := h.Summarize(); err != nil {
 			b.Fatal(err)
 		}
@@ -155,6 +169,7 @@ func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
 		b.Fatal(err)
 	}
 	k.GridBlocks = 30
+	b.ReportAllocs()
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {

@@ -13,6 +13,11 @@
 // `ablation` (runtime-parameter sweeps), `boost` (GPU-Boost-style
 // power-headroom baseline) and `concurrent` (multi-kernel partitioning),
 // which are not part of `all`.
+//
+// Runs execute on a worker pool (-parallel, default GOMAXPROCS) and results
+// persist in a disk cache (-cache-dir, default .eqcache; -no-cache disables
+// it), so a rerun with unchanged configuration simulates nothing. Scheduler
+// and cache statistics print to stderr after each invocation.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"equalizer/internal/exp"
+	"equalizer/internal/exp/runcache"
 	"equalizer/internal/telemetry"
 )
 
@@ -32,6 +38,9 @@ func main() {
 		expName    = flag.String("exp", "summary", "experiment id or 'all'")
 		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
 		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -46,16 +55,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
 		}
 	}()
+	h, err := newHarness(*scale, *parallel, *cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
+		os.Exit(1)
+	}
 	if *asJSON {
-		h := exp.New(exp.Options{GridScale: *scale})
 		if err := runJSON(h, *expName); err != nil {
 			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
 			os.Exit(1)
 		}
+		printStats(h)
 		return
 	}
 
-	h := exp.New(exp.Options{GridScale: *scale})
 	names := strings.Split(*expName, ",")
 	if *expName == "all" {
 		names = []string{"table1", "table2", "table3", "fig1", "fig2a", "fig2b",
@@ -71,6 +84,36 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
 	}
+	printStats(h)
+}
+
+// newHarness wires the experiment harness with the pool width and the disk
+// cache selected on the command line.
+func newHarness(scale float64, parallel int, cacheDir string, noCache bool) (*exp.Harness, error) {
+	opts := exp.Options{
+		GridScale:   scale,
+		Parallelism: parallel,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if !noCache {
+		cache, err := runcache.Open(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = cache
+	}
+	return exp.New(opts), nil
+}
+
+// printStats reports the run-scheduler and cache counters to stderr.
+func printStats(h *exp.Harness) {
+	st := h.SchedulerStats()
+	fmt.Fprintf(os.Stderr,
+		"eqbench: %d runs (%d simulated, %d memo hits, %d cache hits) at parallelism %d; cache: %d misses, %d stores, %d errors\n",
+		st.Runs, st.Simulated, st.MemoHits, st.CacheHits, h.Parallelism(),
+		st.CacheMisses, st.CacheStores, st.CacheErrors)
 }
 
 func run(h *exp.Harness, name string) (string, error) {
@@ -168,6 +211,16 @@ func run(h *exp.Harness, name string) (string, error) {
 	}
 }
 
+// summaryReport is the JSON form of -exp summary: the headline numbers plus
+// the scheduler counters and wall time, so CI can track the perf trajectory
+// (BENCH_parallel.json).
+type summaryReport struct {
+	Summary     exp.Summary        `json:"summary"`
+	ElapsedSec  float64            `json:"elapsed_sec"`
+	Parallelism int                `json:"parallelism"`
+	Scheduler   exp.SchedulerStats `json:"scheduler"`
+}
+
 // runJSON emits the structured form of the data-bearing experiments.
 func runJSON(h *exp.Harness, name string) error {
 	var v interface{}
@@ -180,7 +233,16 @@ func runJSON(h *exp.Harness, name string) error {
 	case "fig10":
 		v, err = h.Figure10()
 	case "summary":
-		v, err = h.Summarize()
+		start := time.Now()
+		var s exp.Summary
+		if s, err = h.Summarize(); err == nil {
+			v = summaryReport{
+				Summary:     s,
+				ElapsedSec:  time.Since(start).Seconds(),
+				Parallelism: h.Parallelism(),
+				Scheduler:   h.SchedulerStats(),
+			}
+		}
 	case "boost":
 		v, err = h.BoostComparison()
 	default:

@@ -9,6 +9,11 @@
 //
 // Policies: baseline (no tuning), static (with -sm/-mem/-blocks), dynCTA,
 // ccws, equalizer-energy, equalizer-perf.
+//
+// Results persist in the same disk cache eqbench uses (-cache-dir, default
+// .eqcache): rerunning an already-simulated configuration is instant.
+// -no-cache, -v and -metrics force a live simulation (the latter two need
+// per-invocation machine state the cache does not hold).
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 
 	"equalizer/internal/config"
 	"equalizer/internal/core"
+	"equalizer/internal/exp"
+	"equalizer/internal/exp/runcache"
 	"equalizer/internal/gpu"
 	"equalizer/internal/kernels"
 	"equalizer/internal/policy"
@@ -35,6 +42,8 @@ func main() {
 		blocks     = flag.Int("blocks", 0, "static per-SM block limit (0 = kernel maximum)")
 		verbose    = flag.Bool("v", false, "print per-invocation results")
 		list       = flag.Bool("list", false, "list all kernels and exit")
+		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
 		metrics    = flag.String("metrics", "", "write machine counters to this file after the run")
 		metricsFmt = flag.String("metrics-format", "prom", "metrics file format: prom | json")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,36 +80,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	m, err := gpu.New(config.Default(), power.Default(), pol)
+	sl, err := parseLevel(*smLevel)
 	if err != nil {
 		fatal(err)
 	}
-	if static {
-		sl, err := parseLevel(*smLevel)
-		if err != nil {
-			fatal(err)
-		}
-		ml, err := parseLevel(*memLevel)
-		if err != nil {
-			fatal(err)
-		}
-		m.SetLevelsImmediate(sl, ml)
+	ml, err := parseLevel(*memLevel)
+	if err != nil {
+		fatal(err)
 	}
 
 	var totalPS int64
 	var totalJ float64
-	for inv := 0; inv < k.Invocations; inv++ {
-		res, err := m.RunKernel(k, inv)
+	// -v and -metrics need a live machine (per-invocation results, counter
+	// state); everything else routes through the exp harness so results are
+	// served from and stored to the shared disk cache.
+	if !*verbose && *metrics == "" && !*noCache {
+		cache, err := runcache.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
-		totalPS += res.TimePS
-		totalJ += res.EnergyJ()
-		if *verbose {
-			fmt.Printf("inv %2d: %9d cycles  %8.3f ms  %8.4f J  IPC %.3f  L1 %.2f  DRAM %.2f\n",
-				inv+1, res.SMCycles, float64(res.TimePS)/1e9, res.EnergyJ(),
-				res.IPC, res.L1HitRate, res.DRAMUtil)
+		h := exp.New(exp.Options{Cache: cache})
+		t, err := h.Run(k, setupFromFlags(*policyName, static, sl, ml, *blocks))
+		if err != nil {
+			fatal(err)
+		}
+		totalPS, totalJ = t.TimePS, t.EnergyJ
+		if st := h.SchedulerStats(); st.CacheHits > 0 {
+			fmt.Fprintf(os.Stderr, "eqsim: result served from cache %s\n", cache.Dir())
+		}
+	} else {
+		m, err := gpu.New(config.Default(), power.Default(), pol)
+		if err != nil {
+			fatal(err)
+		}
+		if static {
+			m.SetLevelsImmediate(sl, ml)
+		}
+		for inv := 0; inv < k.Invocations; inv++ {
+			res, err := m.RunKernel(k, inv)
+			if err != nil {
+				fatal(err)
+			}
+			totalPS += res.TimePS
+			totalJ += res.EnergyJ()
+			if *verbose {
+				fmt.Printf("inv %2d: %9d cycles  %8.3f ms  %8.4f J  IPC %.3f  L1 %.2f  DRAM %.2f\n",
+					inv+1, res.SMCycles, float64(res.TimePS)/1e9, res.EnergyJ(),
+					res.IPC, res.L1HitRate, res.DRAMUtil)
+			}
+		}
+		if *metrics != "" {
+			if err := writeMetrics(m, *metrics, *metricsFmt); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -113,13 +145,31 @@ func main() {
 	fmt.Printf("kernel %-8s policy %-24s time %10.3f ms  energy %9.4f J  mean power %6.1f W\n",
 		k.Name, name, float64(totalPS)/1e9, totalJ, totalJ/(float64(totalPS)*1e-12))
 
-	if *metrics != "" {
-		if err := writeMetrics(m, *metrics, *metricsFmt); err != nil {
-			fatal(err)
-		}
-	}
 	if err := stopProfiling(); err != nil {
 		fatal(err)
+	}
+}
+
+// setupFromFlags maps the command-line policy selection onto the harness's
+// Setup vocabulary, which keys the shared result cache.
+func setupFromFlags(policyName string, static bool, sl, ml config.VFLevel, blocks int) exp.Setup {
+	if static {
+		if blocks > 0 {
+			return exp.Setup{Policy: "blocks", SM: sl, Mem: ml, Blocks: blocks}
+		}
+		return exp.StaticVF(sl, ml)
+	}
+	switch strings.ToLower(policyName) {
+	case "dyncta":
+		return exp.Setup{Policy: "dynCTA", SM: config.VFNormal, Mem: config.VFNormal}
+	case "ccws":
+		return exp.Setup{Policy: "ccws", SM: config.VFNormal, Mem: config.VFNormal}
+	case "equalizer-energy":
+		return exp.EqualizerSetup(core.EnergyMode)
+	case "equalizer-perf", "equalizer-performance":
+		return exp.EqualizerSetup(core.PerformanceMode)
+	default:
+		return exp.Baseline()
 	}
 }
 

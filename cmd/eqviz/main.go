@@ -6,8 +6,9 @@
 //	eqviz -out figures -exp fig7         # one figure
 //
 // Supported: fig2b fig4 fig5 fig7 fig8 fig10 fig11b. Each run simulates the
-// required configurations (see cmd/eqbench for text output of every
-// experiment).
+// required configurations on a worker pool (-parallel) backed by the shared
+// disk cache (-cache-dir / -no-cache); see cmd/eqbench for text output of
+// every experiment.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"equalizer/internal/exp"
+	"equalizer/internal/exp/runcache"
 	"equalizer/internal/svg"
 	"equalizer/internal/telemetry"
 )
@@ -27,6 +29,9 @@ func main() {
 		outDir     = flag.String("out", "figures", "output directory for .svg files")
 		expName    = flag.String("exp", "all", "figure id or 'all'")
 		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -45,7 +50,15 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	h := exp.New(exp.Options{GridScale: *scale})
+	opts := exp.Options{GridScale: *scale, Parallelism: *parallel}
+	if !*noCache {
+		cache, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = cache
+	}
+	h := exp.New(opts)
 
 	figures := []string{"fig2b", "fig4", "fig5", "fig7", "fig8", "fig10", "fig11b"}
 	if *expName != "all" {

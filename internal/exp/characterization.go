@@ -75,6 +75,19 @@ type Fig1Blocks struct {
 // Figure1 measures the impact of varying SM frequency, memory frequency and
 // thread-block count on every kernel (paper Figure 1).
 func (h *Harness) Figure1() (Fig1Data, error) {
+	var grid []RunRequest
+	for _, k := range kernels.All() {
+		for _, s := range []Setup{
+			Baseline(),
+			StaticVF(config.VFHigh, config.VFNormal),
+			StaticVF(config.VFLow, config.VFNormal),
+			StaticVF(config.VFNormal, config.VFHigh),
+			StaticVF(config.VFNormal, config.VFLow),
+		} {
+			grid = append(grid, RunRequest{Kernel: k, Setup: s})
+		}
+	}
+	h.Prefetch(grid)
 	var d Fig1Data
 	for _, k := range kernels.All() {
 		base, err := h.Run(k, Baseline())
@@ -179,6 +192,11 @@ func (h *Harness) Figure2a() (Fig2aData, error) {
 	if err != nil {
 		return Fig2aData{}, err
 	}
+	h.Prefetch([]RunRequest{
+		{Kernel: k, Setup: StaticBlocks(1)},
+		{Kernel: k, Setup: StaticBlocks(2)},
+		{Kernel: k, Setup: StaticBlocks(3)},
+	})
 	var d Fig2aData
 	runs := map[int]*[]int64{1: &d.Blocks1, 2: &d.Blocks2, 3: &d.Blocks3}
 	for b, dst := range runs {
@@ -321,6 +339,13 @@ type Fig5Row struct {
 
 // Figure5 sweeps the thread-block count for the memory-intensive kernels.
 func (h *Harness) Figure5() ([]Fig5Row, error) {
+	var grid []RunRequest
+	for _, k := range kernels.ByCategory(kernels.Memory) {
+		for b := 1; b <= k.MaxResidentBlocks(h.gpuCfg.MaxWarpsPerSM); b++ {
+			grid = append(grid, RunRequest{Kernel: k, Setup: StaticBlocks(b)})
+		}
+	}
+	h.Prefetch(grid)
 	var rows []Fig5Row
 	for _, k := range kernels.ByCategory(kernels.Memory) {
 		maxBlocks := k.MaxResidentBlocks(h.gpuCfg.MaxWarpsPerSM)

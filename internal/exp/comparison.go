@@ -22,6 +22,18 @@ type Fig10Row struct {
 // Figure10 compares Equalizer's performance mode with DynCTA and CCWS on the
 // cache-sensitive kernel set.
 func (h *Harness) Figure10() ([]Fig10Row, error) {
+	var grid []RunRequest
+	for _, k := range kernels.CacheStudyKernels() {
+		for _, s := range []Setup{
+			Baseline(),
+			{Policy: "dynCTA", SM: config.VFNormal, Mem: config.VFNormal},
+			{Policy: "ccws", SM: config.VFNormal, Mem: config.VFNormal},
+			{Policy: "equalizer-perf", SM: config.VFNormal, Mem: config.VFNormal},
+		} {
+			grid = append(grid, RunRequest{Kernel: k, Setup: s})
+		}
+	}
+	h.Prefetch(grid)
 	var rows []Fig10Row
 	for _, k := range kernels.CacheStudyKernels() {
 		base, err := h.Run(k, Baseline())
@@ -86,11 +98,20 @@ type Fig11aData struct {
 
 // Figure11a reproduces the bfs-2 adaptivity study.
 func (h *Harness) Figure11a() (Fig11aData, error) {
-	base, err := h.Figure2a()
+	k, err := kernels.ByName("bfs-2")
 	if err != nil {
 		return Fig11aData{}, err
 	}
-	k, err := kernels.ByName("bfs-2")
+	h.Prefetch([]RunRequest{
+		{Kernel: k, Setup: StaticBlocks(1)},
+		{Kernel: k, Setup: StaticBlocks(2)},
+		{Kernel: k, Setup: StaticBlocks(3)},
+		{Kernel: k, Setup: Setup{
+			Policy: "equalizer-perf", SM: config.VFNormal, Mem: config.VFNormal,
+			DisableFrequency: true,
+		}},
+	})
+	base, err := h.Figure2a()
 	if err != nil {
 		return Fig11aData{}, err
 	}

@@ -19,9 +19,26 @@ type Fig7Row struct {
 	EqualizerEnergy, SMBoostEnergy, MemBoostEnergy float64
 }
 
+// fig7Grid declares every run Figure 7 consumes.
+func fig7Grid() []RunRequest {
+	var grid []RunRequest
+	for _, k := range kernels.All() {
+		for _, s := range []Setup{
+			Baseline(),
+			{Policy: "equalizer-perf", SM: config.VFNormal, Mem: config.VFNormal},
+			StaticVF(config.VFHigh, config.VFNormal),
+			StaticVF(config.VFNormal, config.VFHigh),
+		} {
+			grid = append(grid, RunRequest{Kernel: k, Setup: s})
+		}
+	}
+	return grid
+}
+
 // Figure7 runs the performance-mode evaluation: Equalizer against statically
 // boosting the SM or the memory system by 15%.
 func (h *Harness) Figure7() ([]Fig7Row, error) {
+	h.Prefetch(fig7Grid())
 	var rows []Fig7Row
 	for _, k := range kernels.All() {
 		base, err := h.Run(k, Baseline())
@@ -151,9 +168,26 @@ type Fig8Row struct {
 	StaticBest float64
 }
 
+// fig8Grid declares every run Figure 8 consumes.
+func fig8Grid() []RunRequest {
+	var grid []RunRequest
+	for _, k := range kernels.All() {
+		for _, s := range []Setup{
+			Baseline(),
+			{Policy: "equalizer-energy", SM: config.VFNormal, Mem: config.VFNormal},
+			StaticVF(config.VFLow, config.VFNormal),
+			StaticVF(config.VFNormal, config.VFLow),
+		} {
+			grid = append(grid, RunRequest{Kernel: k, Setup: s})
+		}
+	}
+	return grid
+}
+
 // Figure8 runs the energy-mode evaluation: Equalizer against statically
 // lowering the SM or memory VF by 15%.
 func (h *Harness) Figure8() ([]Fig8Row, error) {
+	h.Prefetch(fig8Grid())
 	var rows []Fig8Row
 	for _, k := range kernels.All() {
 		base, err := h.Run(k, Baseline())
@@ -293,6 +327,13 @@ type Fig9Row struct {
 // Figure9 measures the distribution of time over the SM and memory frequency
 // states under Equalizer in both modes.
 func (h *Harness) Figure9() ([]Fig9Row, error) {
+	var grid []RunRequest
+	for _, k := range kernels.All() {
+		grid = append(grid,
+			RunRequest{Kernel: k, Setup: Setup{Policy: "equalizer-perf", SM: config.VFNormal, Mem: config.VFNormal}},
+			RunRequest{Kernel: k, Setup: Setup{Policy: "equalizer-energy", SM: config.VFNormal, Mem: config.VFNormal}})
+	}
+	h.Prefetch(grid)
 	var rows []Fig9Row
 	for _, k := range kernels.All() {
 		for _, mode := range []string{"P", "E"} {
@@ -347,8 +388,11 @@ type Summary struct {
 	EnergyModePerf      float64 // paper: 1.05
 }
 
-// Summarize runs both modes over all kernels and aggregates.
+// Summarize runs both modes over all kernels and aggregates. The union of
+// both figures' grids is prefetched up front so the worker pool stays
+// saturated across the figure boundary (the shared baselines dedupe).
 func (h *Harness) Summarize() (Summary, error) {
+	h.Prefetch(append(fig7Grid(), fig8Grid()...))
 	f7, err := h.Figure7()
 	if err != nil {
 		return Summary{}, err

@@ -25,6 +25,13 @@ type BoostRow struct {
 // power headroom alone, so it matches Equalizer only on compute kernels and
 // wastes energy everywhere else.
 func (h *Harness) BoostComparison() ([]BoostRow, error) {
+	var grid []RunRequest
+	for _, k := range kernels.All() {
+		grid = append(grid,
+			RunRequest{Kernel: k, Setup: Baseline()},
+			RunRequest{Kernel: k, Setup: Setup{Policy: "equalizer-perf", SM: config.VFNormal, Mem: config.VFNormal}})
+	}
+	h.Prefetch(grid)
 	var rows []BoostRow
 	for _, k := range kernels.All() {
 		base, err := h.Run(k, Baseline())

@@ -6,15 +6,22 @@
 package exp
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"equalizer/internal/config"
 	"equalizer/internal/core"
+	"equalizer/internal/exp/runcache"
 	"equalizer/internal/gpu"
 	"equalizer/internal/kernels"
 	"equalizer/internal/metrics"
 	"equalizer/internal/policy"
 	"equalizer/internal/power"
+	"equalizer/internal/telemetry"
 )
 
 // Options configures a harness.
@@ -25,16 +32,55 @@ type Options struct {
 	// GridScale multiplies every kernel's grid size (0 < s <= 1 shrinks
 	// runs for smoke tests; 0 means 1.0).
 	GridScale float64
+	// Parallelism bounds the number of simulations in flight at once:
+	// 0 means GOMAXPROCS, 1 runs one simulation at a time. Every
+	// parallelism produces byte-identical figure renderings — each run
+	// owns its gpu.Machine, and figures aggregate results in declaration
+	// order from the memo, never in completion order.
+	Parallelism int
+	// Cache is the persistent on-disk result store; nil disables disk
+	// caching (in-process memoisation always applies).
+	Cache *runcache.Cache
+	// Registry receives the harness's scheduler and cache counters
+	// (exp_runs_total, exp_cache_hits_total, ...). Nil uses a private
+	// registry; stats remain available through SchedulerStats.
+	Registry *telemetry.Registry
+	// Logf receives scheduler diagnostics such as block-sweep cutoffs;
+	// nil discards them.
+	Logf func(format string, args ...interface{})
 }
 
-// Harness runs experiments. It memoises (kernel, configuration) results so
-// figures that share runs — e.g. every figure needs the baseline — do not
-// resimulate. Not safe for concurrent use.
+// Harness runs experiments. It memoises (kernel, configuration) results
+// with singleflight semantics so figures that share runs — e.g. every
+// figure needs the baseline — simulate each configuration exactly once even
+// when prefetches race, and it executes declared run grids on a bounded
+// worker pool. Safe for concurrent use.
 type Harness struct {
 	gpuCfg config.GPU
 	pwrCfg power.Config
 	scale  float64
-	memo   map[runKey]Totals
+	par    int
+	sem    chan struct{}
+	cache  *runcache.Cache
+	logf   func(format string, args ...interface{})
+
+	mu   sync.Mutex
+	memo map[runKey]*memoEntry
+
+	// Scheduler and cache counters, exported through the telemetry
+	// registry supplied in Options.
+	runs, sims, memoHits                           *telemetry.Counter
+	cacheHits, cacheMisses, cacheStores, cacheErrs *telemetry.Counter
+	sweepCutoffs                                   *telemetry.Counter
+}
+
+// memoEntry is one singleflight cell: the first Run for a key computes the
+// result inside once; concurrent requesters block on once and then read the
+// shared result.
+type memoEntry struct {
+	once sync.Once
+	t    Totals
+	err  error
 }
 
 // New builds a harness.
@@ -43,7 +89,9 @@ func New(opts Options) *Harness {
 		gpuCfg: config.Default(),
 		pwrCfg: power.Default(),
 		scale:  1.0,
-		memo:   make(map[runKey]Totals),
+		memo:   make(map[runKey]*memoEntry),
+		cache:  opts.Cache,
+		logf:   opts.Logf,
 	}
 	if opts.GPU != nil {
 		h.gpuCfg = *opts.GPU
@@ -54,14 +102,66 @@ func New(opts Options) *Harness {
 	if opts.GridScale > 0 {
 		h.scale = opts.GridScale
 	}
+	h.par = opts.Parallelism
+	if h.par <= 0 {
+		h.par = runtime.GOMAXPROCS(0)
+	}
+	h.sem = make(chan struct{}, h.par)
+	if h.logf == nil {
+		h.logf = func(string, ...interface{}) {}
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	h.runs = reg.Counter("exp_runs_total", "run requests, including memoised and cached", nil)
+	h.sims = reg.Counter("exp_runs_simulated_total", "runs that actually simulated", nil)
+	h.memoHits = reg.Counter("exp_memo_hits_total", "runs answered by the in-process memo", nil)
+	h.cacheHits = reg.Counter("exp_cache_hits_total", "runs answered by the disk cache", nil)
+	h.cacheMisses = reg.Counter("exp_cache_misses_total", "disk cache lookups that missed", nil)
+	h.cacheStores = reg.Counter("exp_cache_stores_total", "results written to the disk cache", nil)
+	h.cacheErrs = reg.Counter("exp_cache_errors_total", "corrupt or unwritable cache entries", nil)
+	h.sweepCutoffs = reg.Counter("exp_sweep_cutoffs_total", "block sweeps stopped early by monotone-tail detection", nil)
 	return h
+}
+
+// Parallelism returns the effective worker-pool width.
+func (h *Harness) Parallelism() int { return h.par }
+
+// SchedulerStats snapshots the harness's run and cache counters.
+type SchedulerStats struct {
+	Runs        uint64 `json:"runs"`
+	Simulated   uint64 `json:"simulated"`
+	MemoHits    uint64 `json:"memo_hits"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheStores uint64 `json:"cache_stores"`
+	CacheErrors uint64 `json:"cache_errors"`
+	SweepCutoff uint64 `json:"sweep_cutoffs"`
+}
+
+// SchedulerStats returns the current counter values.
+func (h *Harness) SchedulerStats() SchedulerStats {
+	return SchedulerStats{
+		Runs:        h.runs.Value(),
+		Simulated:   h.sims.Value(),
+		MemoHits:    h.memoHits.Value(),
+		CacheHits:   h.cacheHits.Value(),
+		CacheMisses: h.cacheMisses.Value(),
+		CacheStores: h.cacheStores.Value(),
+		CacheErrors: h.cacheErrs.Value(),
+		SweepCutoff: h.sweepCutoffs.Value(),
+	}
 }
 
 // Totals aggregates a kernel's full launch sequence (all invocations).
 type Totals struct {
-	TimePS    int64
-	EnergyJ   float64
-	SMCycles  int64
+	TimePS   int64
+	EnergyJ  float64
+	SMCycles int64
+	// L1Hit and DRAMUtil are aggregated across invocations weighted by
+	// each invocation's SM cycles, so multi-invocation kernels (bfs,
+	// mri_g) report true whole-sequence rates.
 	L1Hit     float64
 	DRAMUtil  float64
 	Residency gpu.Residency
@@ -135,6 +235,36 @@ type runKey struct {
 	setup  Setup
 }
 
+// cacheSchemaVersion invalidates every persistent entry when the simulator
+// or the Totals layout changes in a result-affecting way. Bump it whenever
+// stored results would no longer match a fresh simulation.
+const cacheSchemaVersion = 1
+
+// cacheKey derives the stable content hash identifying one run's result.
+func (h *Harness) cacheKey(kernel string, s Setup) string {
+	return cacheKeyFor(cacheSchemaVersion, h.gpuCfg, h.pwrCfg, h.scale, kernel, s)
+}
+
+// cacheKeyFor hashes everything that determines a run's result. JSON
+// marshalling of these flat structs is deterministic (fields in declaration
+// order, no maps), so the hash is stable across processes.
+func cacheKeyFor(version int, g config.GPU, p power.Config, scale float64, kernel string, s Setup) string {
+	payload := struct {
+		Schema    int
+		Kernel    string
+		Setup     Setup
+		GPU       config.GPU
+		Power     power.Config
+		GridScale float64
+	}{version, kernel, s, g, p, scale}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(fmt.Sprintf("exp: cache key marshal: %v", err)) // flat structs cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // buildPolicy constructs the gpu.Policy for a setup; nil means no tuning.
 func (h *Harness) buildPolicy(s Setup) gpu.Policy {
 	switch s.Policy {
@@ -167,12 +297,65 @@ func (h *Harness) scaled(k kernels.Kernel) kernels.Kernel {
 	return k.WithGridScale(h.scale, h.gpuCfg.NumSMs)
 }
 
-// Run simulates a kernel's full launch sequence under a setup, memoised.
+// Run returns the totals of a kernel's full launch sequence under a setup.
+// The first request for a key simulates (or loads the persistent cache);
+// concurrent requesters for the same key block until that result is ready
+// and then share it. Safe for concurrent use.
 func (h *Harness) Run(k kernels.Kernel, s Setup) (Totals, error) {
+	h.runs.Inc()
 	key := runKey{kernel: k.Name, setup: s}
-	if t, ok := h.memo[key]; ok {
+	h.mu.Lock()
+	e, ok := h.memo[key]
+	if !ok {
+		e = new(memoEntry)
+		h.memo[key] = e
+	}
+	h.mu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		e.t, e.err = h.loadOrSimulate(k, s)
+	})
+	if !first {
+		h.memoHits.Inc()
+	}
+	return e.t, e.err
+}
+
+// loadOrSimulate consults the persistent cache before paying for a
+// simulation. A corrupt entry is counted, already removed by the cache, and
+// healed by re-simulating — never a failure.
+func (h *Harness) loadOrSimulate(k kernels.Kernel, s Setup) (Totals, error) {
+	if h.cache == nil {
+		return h.simulate(k, s)
+	}
+	key := h.cacheKey(k.Name, s)
+	var t Totals
+	ok, err := h.cache.Load(key, &t)
+	if ok {
+		h.cacheHits.Inc()
 		return t, nil
 	}
+	if err != nil {
+		h.cacheErrs.Inc()
+	} else {
+		h.cacheMisses.Inc()
+	}
+	t, err = h.simulate(k, s)
+	if err != nil {
+		return Totals{}, err
+	}
+	if serr := h.cache.Store(key, t); serr != nil {
+		h.cacheErrs.Inc()
+	} else {
+		h.cacheStores.Inc()
+	}
+	return t, nil
+}
+
+// simulate runs the kernel's full launch sequence on a fresh machine.
+func (h *Harness) simulate(k kernels.Kernel, s Setup) (Totals, error) {
+	h.sims.Inc()
 	kk := h.scaled(k)
 	m, err := gpu.New(h.gpuCfg, h.pwrCfg, h.buildPolicy(s))
 	if err != nil {
@@ -180,6 +363,7 @@ func (h *Harness) Run(k kernels.Kernel, s Setup) (Totals, error) {
 	}
 	m.SetLevelsImmediate(s.SM, s.Mem)
 	var t Totals
+	var l1Weighted, dramWeighted float64
 	for inv := 0; inv < kk.Invocations; inv++ {
 		res, err := m.RunKernel(kk, inv)
 		if err != nil {
@@ -188,15 +372,18 @@ func (h *Harness) Run(k kernels.Kernel, s Setup) (Totals, error) {
 		t.TimePS += res.TimePS
 		t.EnergyJ += res.EnergyJ()
 		t.SMCycles += res.SMCycles
-		t.L1Hit = res.L1HitRate // last invocation's value; fine for 1-inv kernels
-		t.DRAMUtil = res.DRAMUtil
+		l1Weighted += res.L1HitRate * float64(res.SMCycles)
+		dramWeighted += res.DRAMUtil * float64(res.SMCycles)
 		for i := 0; i < 3; i++ {
 			t.Residency.SM[i] += res.Residency.SM[i]
 			t.Residency.Mem[i] += res.Residency.Mem[i]
 		}
 		t.PerInvocationPS = append(t.PerInvocationPS, res.TimePS)
 	}
-	h.memo[key] = t
+	if t.SMCycles > 0 {
+		t.L1Hit = l1Weighted / float64(t.SMCycles)
+		t.DRAMUtil = dramWeighted / float64(t.SMCycles)
+	}
 	return t, nil
 }
 
@@ -210,15 +397,83 @@ func (h *Harness) MustRun(k kernels.Kernel, s Setup) Totals {
 	return t
 }
 
+// RunRequest names one cell of an experiment's run grid.
+type RunRequest struct {
+	Kernel kernels.Kernel
+	Setup  Setup
+}
+
+// Prefetch executes a run grid on the worker pool and blocks until every
+// result is memoised. Figures declare their full grid up front so the pool
+// stays saturated instead of discovering runs one sequential Run at a time.
+// Duplicate requests and runs shared with earlier grids dedupe through the
+// singleflight memo. Errors are not reported here: the figure's sequential
+// aggregation path re-requests each run (a memo hit) and surfaces the error
+// exactly where the sequential harness would have.
+func (h *Harness) Prefetch(grid []RunRequest) {
+	var wg sync.WaitGroup
+	seen := make(map[runKey]bool, len(grid))
+	for _, r := range grid {
+		key := runKey{kernel: r.Kernel.Name, setup: r.Setup}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		wg.Add(1)
+		go func(r RunRequest) {
+			defer wg.Done()
+			h.sem <- struct{}{}
+			defer func() { <-h.sem }()
+			h.Run(r.Kernel, r.Setup) //nolint:errcheck // surfaced on the sequential path
+		}(r)
+	}
+	wg.Wait()
+}
+
+// sweepTail is the number of consecutive worsening block counts after which
+// BestStaticBlocks stops refining: once performance decays monotonically for
+// this long past the best candidate, the remaining (larger) counts cannot
+// realistically beat it — block sweeps on this machine are unimodal with a
+// flat or decaying tail (Figure 5).
+const sweepTail = 3
+
 // BestStaticBlocks sweeps the block count and returns the best-performing
-// count and its totals.
+// count and its totals. Candidates are prefetched through the worker pool in
+// chunks of the pool width; the selection itself scans results in ascending
+// block order, so the outcome is identical at every parallelism. The sweep
+// short-circuits on a monotone worsening tail.
 func (h *Harness) BestStaticBlocks(k kernels.Kernel) (int, Totals) {
 	maxBlocks := k.MaxResidentBlocks(h.gpuCfg.MaxWarpsPerSM)
 	best, bestT := 0, Totals{}
-	for b := 1; b <= maxBlocks; b++ {
-		t := h.MustRun(k, StaticBlocks(b))
-		if best == 0 || t.TimePS < bestT.TimePS {
-			best, bestT = b, t
+	var prev Totals
+	worse := 0
+	for lo := 1; lo <= maxBlocks; lo += h.par {
+		hi := lo + h.par - 1
+		if hi > maxBlocks {
+			hi = maxBlocks
+		}
+		grid := make([]RunRequest, 0, hi-lo+1)
+		for b := lo; b <= hi; b++ {
+			grid = append(grid, RunRequest{Kernel: k, Setup: StaticBlocks(b)})
+		}
+		h.Prefetch(grid)
+		for b := lo; b <= hi; b++ {
+			t := h.MustRun(k, StaticBlocks(b))
+			if best == 0 || t.TimePS < bestT.TimePS {
+				best, bestT = b, t
+				worse = 0
+			} else if t.TimePS >= prev.TimePS {
+				worse++
+			} else {
+				worse = 0
+			}
+			prev = t
+			if worse >= sweepTail && b < maxBlocks {
+				h.sweepCutoffs.Inc()
+				h.logf("exp: %s block sweep cut off at %d/%d blocks (monotone tail, best=%d)",
+					k.Name, b, maxBlocks, best)
+				return best, bestT
+			}
 		}
 	}
 	return best, bestT

@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"equalizer/internal/config"
+	"equalizer/internal/exp/runcache"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+// detScale keeps the determinism suite fast: the full Figure 7+8 grid at a
+// tenth of every kernel's grid size.
+const detScale = 0.1
+
+func renderFig78(t *testing.T, h *Harness) string {
+	t.Helper()
+	f7, err := h.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := h.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RenderFigure7(f7) + RenderFigure8(f8)
+}
+
+// TestParallelDeterminismAndCache is the tentpole's acceptance test: figure
+// renderings must be byte-identical across worker counts and between cold-
+// and warm-cache runs, and a warm rerun must not simulate at all.
+func TestParallelDeterminismAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 7+8 grid")
+	}
+	if raceDetectorEnabled {
+		t.Skip("full grid is too slow under the race detector; TestPrefetchRaceSmoke covers the concurrency")
+	}
+	// Reference: sequential, no disk cache.
+	ref := renderFig78(t, New(Options{GridScale: detScale, Parallelism: 1}))
+
+	dir := t.TempDir()
+	cache, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold cache at parallelism 4.
+	h4 := New(Options{GridScale: detScale, Parallelism: 4, Cache: cache})
+	if got := renderFig78(t, h4); got != ref {
+		t.Error("parallelism-4 cold-cache rendering differs from sequential reference")
+	}
+	cold := h4.SchedulerStats()
+	if cold.Simulated == 0 {
+		t.Error("cold run reported zero simulations")
+	}
+	if cold.CacheStores != cold.Simulated {
+		t.Errorf("cold run stored %d of %d simulated results", cold.CacheStores, cold.Simulated)
+	}
+	if cold.MemoHits == 0 {
+		t.Error("shared baselines should memo-hit within a run")
+	}
+
+	// Warm cache at parallelism 16: byte-identical with zero simulations.
+	h16 := New(Options{GridScale: detScale, Parallelism: 16, Cache: cache})
+	if got := renderFig78(t, h16); got != ref {
+		t.Error("parallelism-16 warm-cache rendering differs from sequential reference")
+	}
+	warm := h16.SchedulerStats()
+	if warm.Simulated != 0 {
+		t.Errorf("warm run simulated %d times, want 0", warm.Simulated)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm run recorded no cache hits")
+	}
+}
+
+// TestPrefetchRaceSmoke exercises the concurrent scheduler paths — worker
+// pool, singleflight memo, disk cache stores and hits — on a grid small
+// enough to run under the race detector, where the full-grid determinism
+// tests skip themselves.
+func TestPrefetchRaceSmoke(t *testing.T) {
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []RunRequest{
+		{Kernel: k, Setup: Baseline()},
+		{Kernel: k, Setup: StaticVF(config.VFHigh, config.VFNormal)},
+		{Kernel: k, Setup: StaticVF(config.VFNormal, config.VFHigh)},
+		{Kernel: k, Setup: StaticBlocks(1)},
+		{Kernel: k, Setup: StaticBlocks(2)},
+	}
+	h := New(Options{GridScale: 0.05, Parallelism: 8, Cache: cache})
+	// Duplicates in the grid must dedupe through the memo, not run twice.
+	h.Prefetch(append(append([]RunRequest{}, grid...), grid...))
+	want := make([]Totals, len(grid))
+	for i, r := range grid {
+		want[i] = h.MustRun(r.Kernel, r.Setup)
+	}
+	st := h.SchedulerStats()
+	if st.Simulated != uint64(len(grid)) {
+		t.Errorf("Simulated = %d, want %d (one per unique request)", st.Simulated, len(grid))
+	}
+	if st.MemoHits < uint64(len(grid)) {
+		t.Errorf("MemoHits = %d, want >= %d (duplicates + readback)", st.MemoHits, len(grid))
+	}
+	if st.CacheStores != st.Simulated {
+		t.Errorf("stored %d of %d simulated results", st.CacheStores, st.Simulated)
+	}
+
+	// A fresh harness over the same cache must serve everything from disk,
+	// byte-for-byte equal.
+	h2 := New(Options{GridScale: 0.05, Parallelism: 8, Cache: cache})
+	h2.Prefetch(grid)
+	for i, r := range grid {
+		if got := h2.MustRun(r.Kernel, r.Setup); got.TimePS != want[i].TimePS || got.EnergyJ != want[i].EnergyJ {
+			t.Errorf("warm result %d differs from cold", i)
+		}
+	}
+	if st := h2.SchedulerStats(); st.Simulated != 0 || st.CacheHits != uint64(len(grid)) {
+		t.Errorf("warm harness: %+v, want 0 simulated / %d cache hits", st, len(grid))
+	}
+}
+
+// TestCacheKeySchemaVersion: bumping the schema version must change every
+// key, invalidating all persisted entries.
+func TestCacheKeySchemaVersion(t *testing.T) {
+	g, p := config.Default(), power.Default()
+	s := Baseline()
+	k1 := cacheKeyFor(1, g, p, 1.0, "cutcp", s)
+	k2 := cacheKeyFor(2, g, p, 1.0, "cutcp", s)
+	if k1 == k2 {
+		t.Error("schema version bump did not change the cache key")
+	}
+	if k1 != cacheKeyFor(1, g, p, 1.0, "cutcp", s) {
+		t.Error("cache key not stable across calls")
+	}
+	if k1 == cacheKeyFor(1, g, p, 0.5, "cutcp", s) {
+		t.Error("grid scale not part of the cache key")
+	}
+	if k1 == cacheKeyFor(1, g, p, 1.0, "lbm", s) {
+		t.Error("kernel name not part of the cache key")
+	}
+	if k1 == cacheKeyFor(1, g, p, 1.0, "cutcp", StaticVF(config.VFHigh, config.VFNormal)) {
+		t.Error("setup not part of the cache key")
+	}
+}
+
+// TestCorruptCacheEntryFallsBackToSimulate: a mangled entry must be counted,
+// removed, and replaced by a fresh simulation — never surfaced as a failure.
+func TestCorruptCacheEntryFallsBackToSimulate(t *testing.T) {
+	k, err := kernels.ByName("bfs-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cache, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(Options{GridScale: 0.1, Parallelism: 2, Cache: cache})
+	want := h.MustRun(k, Baseline())
+
+	// Corrupt the stored entry, then rerun with a fresh harness.
+	if err := os.WriteFile(cache.Path(h.cacheKey(k.Name, Baseline())), []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2 := New(Options{GridScale: 0.1, Parallelism: 2, Cache: cache})
+	got, err := h2.Run(k, Baseline())
+	if err != nil {
+		t.Fatalf("corrupt entry surfaced as failure: %v", err)
+	}
+	if got.TimePS != want.TimePS || got.EnergyJ != want.EnergyJ {
+		t.Error("re-simulated result differs from original")
+	}
+	st := h2.SchedulerStats()
+	if st.CacheErrors == 0 {
+		t.Error("corrupt entry not counted")
+	}
+	if st.Simulated != 1 {
+		t.Errorf("Simulated = %d, want 1 (fall back to simulate)", st.Simulated)
+	}
+	// The healed entry serves the next harness from disk.
+	h3 := New(Options{GridScale: 0.1, Parallelism: 2, Cache: cache})
+	h3.MustRun(k, Baseline())
+	if st := h3.SchedulerStats(); st.CacheHits != 1 || st.Simulated != 0 {
+		t.Errorf("healed entry not served from disk: %+v", st)
+	}
+}
+
+// TestMultiInvocationAggregatesWeighted: Totals.L1Hit/DRAMUtil must be the
+// SM-cycle-weighted mean over invocations, not the last invocation's value
+// (the old last-wins bug misreported multi-invocation kernels like bfs-2).
+func TestMultiInvocationAggregatesWeighted(t *testing.T) {
+	k, err := kernels.ByName("bfs-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(Options{GridScale: 0.1, Parallelism: 1})
+	got := h.MustRun(k, Baseline())
+
+	// Recompute the expected aggregates from a fresh machine.
+	kk := h.scaled(k)
+	m, err := gpu.New(h.gpuCfg, h.pwrCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetLevelsImmediate(config.VFNormal, config.VFNormal)
+	var wL1, wDRAM, lastL1 float64
+	var cycles int64
+	for inv := 0; inv < kk.Invocations; inv++ {
+		res, err := m.RunKernel(kk, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wL1 += res.L1HitRate * float64(res.SMCycles)
+		wDRAM += res.DRAMUtil * float64(res.SMCycles)
+		cycles += res.SMCycles
+		lastL1 = res.L1HitRate
+	}
+	wantL1, wantDRAM := wL1/float64(cycles), wDRAM/float64(cycles)
+	if math.Abs(got.L1Hit-wantL1) > 1e-9 {
+		t.Errorf("L1Hit = %v, want SM-cycle-weighted %v", got.L1Hit, wantL1)
+	}
+	if math.Abs(got.DRAMUtil-wantDRAM) > 1e-9 {
+		t.Errorf("DRAMUtil = %v, want SM-cycle-weighted %v", got.DRAMUtil, wantDRAM)
+	}
+	// bfs-2's invocations differ, so the weighted mean must not collapse to
+	// the old last-invocation value.
+	if math.Abs(wantL1-lastL1) > 1e-9 && math.Abs(got.L1Hit-lastL1) < 1e-12 {
+		t.Error("L1Hit still reports the last invocation's value")
+	}
+}
+
+// TestBestStaticBlocksCutoffDeterministic: the monotone-tail short-circuit
+// must pick the same block count at every parallelism.
+func TestBestStaticBlocksCutoffDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full block sweep")
+	}
+	if raceDetectorEnabled {
+		t.Skip("full block sweep is too slow under the race detector")
+	}
+	k, err := kernels.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		best int
+		ps   int64
+	}
+	var results []outcome
+	for _, par := range []int{1, 4} {
+		h := New(Options{GridScale: 0.1, Parallelism: par})
+		best, tot := h.BestStaticBlocks(k)
+		results = append(results, outcome{best, tot.TimePS})
+	}
+	if results[0] != results[1] {
+		t.Errorf("sweep outcome depends on parallelism: %+v", results)
+	}
+}

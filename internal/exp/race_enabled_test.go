@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceDetectorEnabled reports whether this test binary was built with -race.
+// The full-grid determinism tests are an order of magnitude slower under the
+// detector and skip themselves; TestPrefetchRaceSmoke covers the concurrent
+// paths instead.
+const raceDetectorEnabled = true

@@ -1,0 +1,124 @@
+// Package runcache is a persistent on-disk result store for simulation runs.
+// Each entry is one JSON file named by the caller's key — a stable hash of
+// everything that determines the result (kernel, setup, machine model,
+// grid scale, schema version) — so rerunning an experiment grid with
+// unchanged configuration skips simulation entirely.
+//
+// The store is deliberately dumb: it knows nothing about what it holds.
+// Key derivation and schema versioning belong to the caller (package exp),
+// which keeps this package dependency-free and reusable. Writes are atomic
+// (temp file + rename) so a crashed run never leaves a truncated entry, and
+// a corrupted entry is treated as a miss: Load reports the error, removes
+// the bad file, and the caller falls back to simulating.
+package runcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Cache is a directory of JSON-encoded results, keyed by caller-supplied
+// hash strings. Safe for concurrent use by multiple goroutines as long as
+// distinct goroutines write distinct keys (the exp harness's singleflight
+// memo guarantees this; concurrent processes cooperate via atomic renames).
+type Cache struct {
+	dir string
+}
+
+// Open returns a cache rooted at dir, creating the directory if needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the file backing a key.
+func (c *Cache) Path(key string) string {
+	return filepath.Join(c.dir, sanitize(key)+".json")
+}
+
+// sanitize keeps keys filesystem-safe; callers pass hex hashes, so this only
+// defends against accidental misuse.
+func sanitize(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}
+
+// Load reads the entry for key into v. It returns (true, nil) on a hit,
+// (false, nil) on a clean miss, and (false, err) when the entry exists but
+// cannot be decoded — in which case the corrupt file is removed so the next
+// Store can heal the cache.
+func (c *Cache) Load(key string, v interface{}) (bool, error) {
+	path := c.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("runcache: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		os.Remove(path)
+		return false, fmt.Errorf("runcache: corrupt entry %s (removed): %w", path, err)
+	}
+	return true, nil
+}
+
+// Store writes v as the entry for key, atomically replacing any previous
+// entry.
+func (c *Cache) Store(key string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runcache: encode %s: %w", key, err)
+	}
+	path := c.Path(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: commit %s: %w", path, err)
+	}
+	return nil
+}
+
+// Len counts stored entries (test and diagnostics helper).
+func (c *Cache) Len() (int, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("runcache: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}

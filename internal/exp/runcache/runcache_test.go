@@ -1,0 +1,113 @@
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name   string
+	TimePS int64
+	Vals   []float64
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "cutcp", TimePS: 12345, Vals: []float64{1.5, 0.25}}
+	if err := c.Store("abc123", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := c.Load("abc123", &out)
+	if err != nil || !ok {
+		t.Fatalf("Load = %v, %v; want hit", ok, err)
+	}
+	if out.Name != in.Name || out.TimePS != in.TimePS || len(out.Vals) != 2 || out.Vals[0] != 1.5 {
+		t.Fatalf("round trip mangled payload: %+v", out)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := c.Load("nothere", &out)
+	if err != nil {
+		t.Fatalf("clean miss returned error: %v", err)
+	}
+	if ok {
+		t.Fatal("miss reported as hit")
+	}
+}
+
+func TestCorruptEntryRemovedAndReported(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.Path("bad"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := c.Load("bad", &out)
+	if ok {
+		t.Fatal("corrupt entry reported as hit")
+	}
+	if err == nil {
+		t.Fatal("corrupt entry not reported")
+	}
+	if _, statErr := os.Stat(c.Path("bad")); !os.IsNotExist(statErr) {
+		t.Fatal("corrupt entry not removed")
+	}
+	// The cache heals: a fresh Store over the same key works.
+	if err := c.Store("bad", payload{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Load("bad", &out); !ok || err != nil {
+		t.Fatalf("healed entry: Load = %v, %v", ok, err)
+	}
+}
+
+func TestOpenCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("k", payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("cache dir missing: %v", err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") accepted")
+	}
+}
+
+func TestSanitizedKeys(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("../../escape", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Path("../../escape")
+	if strings.Contains(p, "..") || filepath.Dir(p) != c.Dir() {
+		t.Fatalf("key escaped the cache dir: %s", p)
+	}
+}

@@ -1,0 +1,42 @@
+package gpu
+
+import (
+	"testing"
+
+	"equalizer/internal/config"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+// allocBudgetPerRun pins the steady-state allocation cost of re-running a
+// kernel invocation on a warm machine. The hot loops (sm.SM.Step, the memory
+// partition drain) must not allocate per cycle: the remaining budget covers
+// per-block work (warp streams at launch) and result assembly only. Raise it
+// only with a profile in hand showing the new allocations are per-block, not
+// per-cycle.
+const allocBudgetPerRun = 1500
+
+// TestSteadyStateRunAllocations is the hot-loop allocation pin, in the
+// spirit of telemetry's TestDisabledEmitIsAllocationFree: before the waiter
+// pools and the hoisted drain callbacks, a run this size allocated ~5x the
+// budget, dominated by per-miss outbox pointers and waiter-slice appends.
+func TestSteadyStateRunAllocations(t *testing.T) {
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.GridBlocks = 30
+	m := MustNew(config.Default(), power.Default(), nil)
+	// Warm up: first run grows the pools, wake queues and stat buffers.
+	if _, err := m.RunKernel(k, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(3, func() {
+		if _, err := m.RunKernel(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > allocBudgetPerRun {
+		t.Errorf("steady-state RunKernel allocates %.0f per run, budget %d", n, allocBudgetPerRun)
+	}
+}

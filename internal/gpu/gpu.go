@@ -95,8 +95,9 @@ type Residency struct {
 // EnergyJ returns total energy in joules.
 func (r Result) EnergyJ() float64 { return r.Energy.Total() }
 
-// Machine is the simulated GPU. Not safe for concurrent use; clone one
-// machine per goroutine if parallel sweeps are ever needed.
+// Machine is the simulated GPU. A single Machine is not safe for concurrent
+// use, but distinct Machines are fully independent: the exp harness runs
+// parallel sweeps by building one machine per run (see exp.Harness).
 type Machine struct {
 	cfg  config.GPU
 	pcfg power.Config
@@ -108,10 +109,19 @@ type Machine struct {
 	l2   *cache.Cache
 	net  *icnt.Network
 	dram memController
-	// l2Waiters maps a pending L2 line to the SM requests awaiting it.
-	l2Waiters map[cache.Addr][]icnt.Request
+	// l2Waiters maps a pending L2 line to the SM requests awaiting it;
+	// l2WaiterPool recycles the value slices across misses.
+	l2Waiters    map[cache.Addr][]icnt.Request
+	l2WaiterPool [][]icnt.Request
 	// l2Replies delays L2 hit responses by the L2 latency.
 	l2Replies events.Queue[icnt.Request]
+
+	// drainFn and deliverFn are the interconnect-drain and reply-delivery
+	// callbacks, allocated once instead of per memory cycle; hitDelayPS and
+	// lastMemNowPS carry the current cycle's times into them.
+	drainFn    func(r icnt.Request) bool
+	deliverFn  func(r icnt.Request)
+	hitDelayPS int64
 
 	meter *power.Meter
 
@@ -168,6 +178,10 @@ func New(cfg config.GPU, pcfg power.Config, policy Policy) (*Machine, error) {
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		m.sms = append(m.sms, sm.New(cfg, i))
+	}
+	m.drainFn = m.drainRequest
+	m.deliverFn = func(r icnt.Request) {
+		m.sms[r.SM].DeliverLine(r.Line, clock.Time(m.lastMemNowPS))
 	}
 	return m, nil
 }
@@ -424,7 +438,10 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 		s.SetL1Listener(nil)
 	}
 	m.l2.Flush()
-	m.l2Waiters = make(map[cache.Addr][]icnt.Request)
+	for line, w := range m.l2Waiters {
+		m.l2WaiterPool = append(m.l2WaiterPool, w[:0])
+		delete(m.l2Waiters, line)
+	}
 	m.l2Replies.Reset()
 
 	if m.policy != nil {
@@ -586,16 +603,19 @@ func (m *Machine) stepMemory(now clock.Time) {
 	for _, line := range m.dram.Step(m.memCycle) {
 		m.l2.Fill(line)
 		m.seenMem.DRAM++ // counted at service for level attribution
-		for _, req := range m.l2Waiters[line] {
+		waiters := m.l2Waiters[line]
+		for _, req := range waiters {
 			m.sms[req.SM].DeliverLine(req.Line, now)
 		}
 		delete(m.l2Waiters, line)
+		if cap(waiters) > 0 {
+			m.l2WaiterPool = append(m.l2WaiterPool, waiters[:0])
+		}
 	}
 
-	// 2. Delayed L2 hit replies reach their SMs.
-	m.l2Replies.PopReady(int64(now), func(r icnt.Request) {
-		m.sms[r.SM].DeliverLine(r.Line, now)
-	})
+	// 2. Delayed L2 hit replies reach their SMs (deliverFn reads the cycle
+	// time from lastMemNowPS, set above).
+	m.l2Replies.PopReady(int64(now), m.deliverFn)
 
 	// 3. SM outboxes feed the interconnect.
 	for i, s := range m.sms {
@@ -607,29 +627,44 @@ func (m *Machine) stepMemory(now clock.Time) {
 	}
 
 	// 4. The interconnect drains into the L2 / memory controller.
-	hitDelay := int64(now) + int64(m.memDomain.CyclesToTime(m.cfg.L2HitLatency))
-	m.net.Drain(func(r icnt.Request) bool {
-		switch {
-		case m.l2.Contains(r.Line):
-			m.l2.Access(r.Line)
-			m.seenMem.L2++
-			m.l2Replies.Push(hitDelay, r)
-			return true
-		case m.l2.MissPending(r.Line):
-			m.l2.Access(r.Line) // merged
-			m.seenMem.L2++
-			m.l2Waiters[r.Line] = append(m.l2Waiters[r.Line], r)
-			return true
-		case !m.l2.MSHRsFree() || !m.dram.CanAccept():
-			return false // back-pressure: request stays in the network
-		default:
-			m.l2.Access(r.Line) // fresh miss
-			m.seenMem.L2++
-			m.dram.Enqueue(r.Line)
-			m.l2Waiters[r.Line] = append(m.l2Waiters[r.Line], r)
-			return true
-		}
-	})
+	m.hitDelayPS = int64(now) + int64(m.memDomain.CyclesToTime(m.cfg.L2HitLatency))
+	m.net.Drain(m.drainFn)
+}
+
+// drainRequest routes one interconnect request into the L2 / memory
+// controller; it is the body of the once-allocated drainFn callback.
+func (m *Machine) drainRequest(r icnt.Request) bool {
+	switch {
+	case m.l2.Contains(r.Line):
+		m.l2.Access(r.Line)
+		m.seenMem.L2++
+		m.l2Replies.Push(m.hitDelayPS, r)
+		return true
+	case m.l2.MissPending(r.Line):
+		m.l2.Access(r.Line) // merged
+		m.seenMem.L2++
+		m.addL2Waiter(r)
+		return true
+	case !m.l2.MSHRsFree() || !m.dram.CanAccept():
+		return false // back-pressure: request stays in the network
+	default:
+		m.l2.Access(r.Line) // fresh miss
+		m.seenMem.L2++
+		m.dram.Enqueue(r.Line)
+		m.addL2Waiter(r)
+		return true
+	}
+}
+
+// addL2Waiter records a request awaiting a pending L2 line, reusing a pooled
+// slice for the line's first waiter.
+func (m *Machine) addL2Waiter(r icnt.Request) {
+	w, ok := m.l2Waiters[r.Line]
+	if !ok && len(m.l2WaiterPool) > 0 {
+		w = m.l2WaiterPool[len(m.l2WaiterPool)-1]
+		m.l2WaiterPool = m.l2WaiterPool[:len(m.l2WaiterPool)-1]
+	}
+	m.l2Waiters[r.Line] = append(w, r)
 }
 
 // --- power attribution ------------------------------------------------------

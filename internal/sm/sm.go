@@ -178,6 +178,10 @@ type SM struct {
 	l1 *cache.Cache
 	// l1Waiters maps a missing line to the warp slots awaiting its fill.
 	l1Waiters map[cache.Addr][]int
+	// waiterPool recycles the l1Waiters value slices: DeliverLine returns a
+	// line's slice here and the next miss reuses it, keeping the per-miss
+	// append off the heap in steady state.
+	waiterPool [][]int
 
 	lsu []lsuEntry
 	// tex is the texture unit's request queue. It is much deeper than the
@@ -185,9 +189,12 @@ type SM struct {
 	// than Xmem — texture back-pressure is invisible to the LD/ST pipeline
 	// (the leuko-1 effect of Section V-B).
 	tex []lsuEntry
-	// outbox holds at most one miss awaiting interconnect acceptance.
-	outbox    *MemRequest
-	wakeQueue events.Queue[int]
+	// outbox holds at most one miss awaiting interconnect acceptance;
+	// outboxFull gates it (a value field, not a pointer, so posting a miss
+	// every few cycles does not allocate).
+	outbox     MemRequest
+	outboxFull bool
+	wakeQueue  events.Queue[int]
 
 	// targetBlocks is the concurrency ceiling set by the running policy;
 	// resident unpaused blocks never exceed it.
@@ -379,20 +386,33 @@ func (s *SM) DeliverLine(line cache.Addr, at clock.Time) {
 	for _, ws := range waiters {
 		s.wakeQueue.Push(int64(at), ws)
 	}
+	if cap(waiters) > 0 {
+		s.waiterPool = append(s.waiterPool, waiters[:0])
+	}
+}
+
+// addWaiter records a warp slot waiting on a line, reusing a pooled slice
+// for the line's first waiter.
+func (s *SM) addWaiter(line cache.Addr, ws int) {
+	w, ok := s.l1Waiters[line]
+	if !ok && len(s.waiterPool) > 0 {
+		w = s.waiterPool[len(s.waiterPool)-1]
+		s.waiterPool = s.waiterPool[:len(s.waiterPool)-1]
+	}
+	s.l1Waiters[line] = append(w, ws)
 }
 
 // OutboxFull reports whether a miss is stuck waiting for the interconnect.
-func (s *SM) OutboxFull() bool { return s.outbox != nil }
+func (s *SM) OutboxFull() bool { return s.outboxFull }
 
 // TakeOutbox hands the pending miss to the interconnect layer; ok is false
 // when there is none.
 func (s *SM) TakeOutbox() (MemRequest, bool) {
-	if s.outbox == nil {
+	if !s.outboxFull {
 		return MemRequest{}, false
 	}
-	r := *s.outbox
-	s.outbox = nil
-	return r, true
+	s.outboxFull = false
+	return s.outbox, true
 }
 
 // TexQueueDepth is the texture unit's request-queue capacity; deep enough
@@ -402,7 +422,7 @@ const TexQueueDepth = 32
 // Idle reports whether the SM holds no work at all.
 func (s *SM) Idle() bool {
 	return s.residentBlocks == 0 && len(s.lsu) == 0 && len(s.tex) == 0 &&
-		s.outbox == nil && s.wakeQueue.Len() == 0
+		!s.outboxFull && s.wakeQueue.Len() == 0
 }
 
 // Step advances the SM by one cycle ending at time now (the current SM-domain
@@ -436,7 +456,7 @@ func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
 // drainQueue advances one memory queue by one line access and reports
 // whether it consumed the L1 port this cycle.
 func (s *SM) drainQueue(q *[]lsuEntry, now clock.Time, smPeriod clock.Time) bool {
-	if len(*q) == 0 || s.outbox != nil {
+	if len(*q) == 0 || s.outboxFull {
 		return false
 	}
 	e := &(*q)[0]
@@ -454,11 +474,12 @@ func (s *SM) drainQueue(q *[]lsuEntry, now clock.Time, smPeriod clock.Time) bool
 		s.wakeQueue.Push(int64(now+clock.Time(s.cfg.L1HitLatency)*smPeriod), e.warp)
 	case cache.Miss:
 		s.stats.L1LineAccesses++
-		s.l1Waiters[line] = append(s.l1Waiters[line], e.warp)
-		s.outbox = &MemRequest{SM: s.index, Line: line}
+		s.addWaiter(line, e.warp)
+		s.outbox = MemRequest{SM: s.index, Line: line}
+		s.outboxFull = true
 	case cache.MergedMiss:
 		s.stats.L1LineAccesses++
-		s.l1Waiters[line] = append(s.l1Waiters[line], e.warp)
+		s.addWaiter(line, e.warp)
 	}
 	e.nextLine++
 	e.linesLeft--
@@ -656,10 +677,13 @@ func (s *SM) Reset(resetStats bool) {
 		s.freeWarpSlots = append(s.freeWarpSlots, i)
 	}
 	s.l1.Flush()
-	s.l1Waiters = make(map[cache.Addr][]int)
+	for line, w := range s.l1Waiters {
+		s.waiterPool = append(s.waiterPool, w[:0])
+		delete(s.l1Waiters, line)
+	}
 	s.lsu = s.lsu[:0]
 	s.tex = s.tex[:0]
-	s.outbox = nil
+	s.outboxFull = false
 	s.wakeQueue.Reset()
 	s.targetBlocks = s.cfg.MaxBlocksPerSM
 	s.rrALU, s.rrMEM = 0, 0
