@@ -1,0 +1,100 @@
+// Command eqlint is the Equalizer determinism-and-invariant multichecker.
+// It runs the custom analyzers from internal/analysis over the repository:
+//
+//	go run ./cmd/eqlint ./...
+//
+// Diagnostics print in compiler format (file:line:col: analyzer: message)
+// and a non-zero exit status marks a dirty tree, so the command slots
+// directly into CI. Individual findings are suppressed in source with
+// `//eqlint:allow <analyzer> -- reason` directives; see the package
+// documentation of internal/analysis for the full directive vocabulary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"equalizer/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eqlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	names := fs.String("analyzers", "all", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "eqlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "eqlint:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "eqlint:", err)
+		return 2
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "eqlint: %s: %v\n", dir, err)
+			return 2
+		}
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.PkgPath) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "eqlint: %s: %s: %v\n", a.Name, pkg.PkgPath, err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintln(stdout, d.String())
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "eqlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// chdirRepoRoot moves the test into the module root so ./... patterns
+// resolve the way a CI invocation would.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir("../..")
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"cycleaccounting", "errstrict", "nodeterminism", "probehygiene"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-analyzers", "nosuch", "./internal/clock"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
+	}
+}
+
+// TestCleanPackage runs the full analyzer set over a small simulator
+// package that must be clean; exit status 0 is part of the repo's
+// determinism contract.
+func TestCleanPackage(t *testing.T) {
+	chdirRepoRoot(t)
+	var out, errb strings.Builder
+	code := run([]string{"./internal/clock"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run(./internal/clock) = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestDirtyPackage points eqlint at the probehygiene testdata fixtures,
+// which are deliberately dirty (and in scope, since probehygiene applies
+// everywhere), and expects findings plus exit status 1.
+func TestDirtyPackage(t *testing.T) {
+	chdirRepoRoot(t)
+	var out, errb strings.Builder
+	code := run([]string{"-analyzers", "probehygiene",
+		"./internal/analysis/testdata/src/probehygiene"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run over dirty fixtures = %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "allocates") {
+		t.Errorf("expected a probehygiene finding, got:\n%s", out.String())
+	}
+}

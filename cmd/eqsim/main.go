@@ -45,6 +45,7 @@ func main() {
 		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
 		metrics    = flag.String("metrics", "", "write machine counters to this file after the run")
+		set        = flag.String("set", "", "comma-separated config overrides, e.g. numsms=8,l1.sets=32,epochcycles=2048")
 		metricsFmt = flag.String("metrics-format", "prom", "metrics file format: prom | json")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -76,7 +77,11 @@ func main() {
 		fatal(err)
 	}
 
-	pol, static, err := buildPolicy(*policyName, *blocks)
+	gpuCfg, eqCfg := config.Default(), config.DefaultEqualizer()
+	if err := config.ApplyOverrides(&gpuCfg, &eqCfg, *set); err != nil {
+		fatal(err)
+	}
+	pol, static, err := buildPolicy(*policyName, *blocks, eqCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,7 +99,9 @@ func main() {
 	// -v and -metrics need a live machine (per-invocation results, counter
 	// state); everything else routes through the exp harness so results are
 	// served from and stored to the shared disk cache.
-	if !*verbose && *metrics == "" && !*noCache {
+	// Config overrides also bypass the cache: its keys assume the default
+	// machine model.
+	if !*verbose && *metrics == "" && !*noCache && *set == "" {
 		cache, err := runcache.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
@@ -109,7 +116,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "eqsim: result served from cache %s\n", cache.Dir())
 		}
 	} else {
-		m, err := gpu.New(config.Default(), power.Default(), pol)
+		m, err := gpu.New(gpuCfg, power.Default(), pol)
 		if err != nil {
 			fatal(err)
 		}
@@ -189,7 +196,7 @@ func writeMetrics(m *gpu.Machine, path, format string) error {
 	return reg.WritePrometheus(f)
 }
 
-func buildPolicy(name string, blocks int) (gpu.Policy, bool, error) {
+func buildPolicy(name string, blocks int, eqCfg config.Equalizer) (gpu.Policy, bool, error) {
 	switch strings.ToLower(name) {
 	case "baseline":
 		return nil, false, nil
@@ -203,9 +210,9 @@ func buildPolicy(name string, blocks int) (gpu.Policy, bool, error) {
 	case "ccws":
 		return policy.NewCCWS(), false, nil
 	case "equalizer-energy":
-		return core.New(core.EnergyMode), false, nil
+		return core.NewWithConfig(core.EnergyMode, eqCfg), false, nil
 	case "equalizer-perf", "equalizer-performance":
-		return core.New(core.PerformanceMode), false, nil
+		return core.NewWithConfig(core.PerformanceMode, eqCfg), false, nil
 	default:
 		return nil, false, fmt.Errorf("unknown policy %q", name)
 	}

@@ -37,7 +37,7 @@ func TestBuildPolicy(t *testing.T) {
 		{"Equalizer-Performance", false, false, "equalizer-performance"},
 	}
 	for _, tc := range cases {
-		p, static, err := buildPolicy(tc.name, 0)
+		p, static, err := buildPolicy(tc.name, 0, config.DefaultEqualizer())
 		if err != nil {
 			t.Errorf("buildPolicy(%q): %v", tc.name, err)
 			continue
@@ -52,13 +52,13 @@ func TestBuildPolicy(t *testing.T) {
 			t.Errorf("buildPolicy(%q): name=%q, want %q", tc.name, p.Name(), tc.policyName)
 		}
 	}
-	if _, _, err := buildPolicy("nonsense", 0); err == nil {
+	if _, _, err := buildPolicy("nonsense", 0, config.DefaultEqualizer()); err == nil {
 		t.Error("buildPolicy accepted an unknown policy")
 	}
 }
 
 func TestBuildPolicyStaticBlocks(t *testing.T) {
-	p, static, err := buildPolicy("static", 3)
+	p, static, err := buildPolicy("static", 3, config.DefaultEqualizer())
 	if err != nil {
 		t.Fatal(err)
 	}

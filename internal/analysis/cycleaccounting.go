@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CycleAccounting enforces the simulator's cycle-accounting discipline.
+// Every figure of the reproduction rests on cycle and epoch counters never
+// drifting, so mutation of those counters is restricted to functions that
+// declare themselves the canonical advance site with //eqlint:cycle-owner,
+// and expressions must never compare SM-domain cycle counts against
+// memory-domain ones (the two domains tick at independent DVFS-scaled
+// rates; only absolute picosecond times are comparable across them).
+var CycleAccounting = &Analyzer{
+	Name:  "cycleaccounting",
+	Doc:   "restricts cycle/epoch counter mutation to //eqlint:cycle-owner functions and flags cross-domain cycle comparisons",
+	Scope: simulatorScope,
+	Run:   runCycleAccounting,
+}
+
+// cycleCounterField reports whether a struct field name denotes a cycle or
+// epoch counter.
+func cycleCounterField(name string) bool {
+	n := strings.ToLower(name)
+	return n == "epoch" || n == "epochs" || n == "cycle" || n == "cycles" ||
+		strings.HasSuffix(n, "cycle") || strings.HasSuffix(n, "cycles") ||
+		strings.HasSuffix(n, "epoch") || strings.HasSuffix(n, "epochs")
+}
+
+// smDomainName / memDomainName classify identifiers naming per-domain cycle
+// counts.
+func smDomainCycleName(n string) bool {
+	l := strings.ToLower(n)
+	return strings.Contains(l, "smcycle")
+}
+
+func memDomainCycleName(n string) bool {
+	l := strings.ToLower(n)
+	return strings.Contains(l, "memcycle") || strings.Contains(l, "dramcycle")
+}
+
+func runCycleAccounting(pass *Pass) error {
+	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
+		owner := funcHasDirective(fd, "cycle-owner")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Closures inherit the enclosing function's blessing: the
+				// run loop's callbacks are part of its advance site.
+				return true
+			case *ast.AssignStmt:
+				if owner {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if name, ok := mutatedCycleField(lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"cycle/epoch counter %s mutated outside a cycle-owner function; move the mutation into the canonical advance site or mark the function //eqlint:cycle-owner", name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if owner {
+					return true
+				}
+				if name, ok := mutatedCycleField(n.X); ok {
+					pass.Reportf(n.Pos(),
+						"cycle/epoch counter %s mutated outside a cycle-owner function; move the mutation into the canonical advance site or mark the function //eqlint:cycle-owner", name)
+				}
+			case *ast.BinaryExpr:
+				checkCrossDomainComparison(pass, n)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// mutatedCycleField reports a mutated selector field that names a cycle or
+// epoch counter. Plain local variables are exempt: locals cannot leak
+// accounting state across components.
+func mutatedCycleField(lhs ast.Expr) (string, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !cycleCounterField(sel.Sel.Name) {
+		return "", false
+	}
+	return exprChainOr(sel), true
+}
+
+func exprChainOr(e ast.Expr) string {
+	if c := exprChain(e); c != "" {
+		return c
+	}
+	return "counter"
+}
+
+// checkCrossDomainComparison flags binary expressions mixing SM-domain and
+// memory-domain cycle counts.
+func checkCrossDomainComparison(pass *Pass, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.SUB, token.ADD:
+	default:
+		return
+	}
+	x, y := domainOf(b.X), domainOf(b.Y)
+	if (x == "sm" && y == "mem") || (x == "mem" && y == "sm") {
+		pass.Reportf(b.Pos(),
+			"expression mixes SM-domain and memory-domain cycle counts; the domains tick at independent DVFS rates — compare absolute picosecond times instead")
+	}
+}
+
+// domainOf classifies an expression's clock domain by the identifiers it
+// mentions: "sm", "mem", or "" when neither (or both, which is already a
+// named aggregate the author controls).
+func domainOf(e ast.Expr) string {
+	var sm, mem bool
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if smDomainCycleName(id.Name) {
+			sm = true
+		}
+		if memDomainCycleName(id.Name) {
+			mem = true
+		}
+		return true
+	})
+	switch {
+	case sm && !mem:
+		return "sm"
+	case mem && !sm:
+		return "mem"
+	}
+	return ""
+}

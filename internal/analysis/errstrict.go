@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrStrict is errcheck with no default exemptions, scoped to the
+// experiment-persistence paths (internal/exp and internal/exp/runcache): a
+// silently dropped write or decode error there turns a disk-cache glitch
+// into a silently wrong figure. Every call whose result set includes an
+// error must consume it; discarding one deliberately requires an
+// //eqlint:allow errstrict (or //nolint:errcheck) directive stating why.
+var ErrStrict = &Analyzer{
+	Name: "errstrict",
+	Doc:  "errors in the experiment persistence paths must be handled, not dropped",
+	Scope: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "internal/exp") ||
+			strings.HasSuffix(pkgPath, "internal/exp/runcache")
+	},
+	Run: runErrStrict,
+}
+
+func runErrStrict(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDroppedCall(pass, call, "ignored")
+			}
+		case *ast.DeferStmt:
+			checkDroppedCall(pass, n.Call, "ignored by defer")
+		case *ast.GoStmt:
+			checkDroppedCall(pass, n.Call, "ignored by go statement")
+		case *ast.AssignStmt:
+			checkBlankError(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// errorPositions returns the indices of error-typed results of a call, and
+// the callee name for reporting.
+func errorResults(pass *Pass, call *ast.CallExpr) ([]int, string) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return nil, ""
+	}
+	name := calleeName(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		var idx []int
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+		return idx, name
+	default:
+		if isErrorType(t) {
+			return []int{0}, name
+		}
+	}
+	return nil, name
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if c := exprChain(call.Fun); c != "" {
+		return c
+	}
+	return "call"
+}
+
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, how string) {
+	if isInfallibleWrite(pass, call) {
+		return
+	}
+	if idx, name := errorResults(pass, call); len(idx) > 0 {
+		pass.Reportf(call.Pos(),
+			"error returned by %s is %s; handle it or annotate //eqlint:allow errstrict -- reason", name, how)
+	}
+}
+
+// isInfallibleWrite reports whether call writes to a sink whose Write
+// methods are documented to never return an error (strings.Builder,
+// bytes.Buffer). Both direct method calls (b.WriteString(...)) and
+// fmt.Fprint* with such a sink as the writer are exempt: the error result
+// exists only to satisfy io.Writer.
+func isInfallibleWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method on the sink itself.
+	if isInfallibleSink(pass.TypeOf(sel.X)) {
+		return true
+	}
+	// fmt.Fprint/Fprintf/Fprintln with the sink as the first argument.
+	if id, ok := sel.X.(*ast.Ident); ok && isBuiltinPkg(pass, id, "fmt") &&
+		strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+		return isInfallibleSink(pass.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+func isInfallibleSink(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// isBuiltinPkg reports whether id names the package with the given path.
+func isBuiltinPkg(pass *Pass, id *ast.Ident, path string) bool {
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// checkBlankError flags assignments that discard an error into the blank
+// identifier, including the single-value `_ = f()` form and the
+// multi-assign `v, _ := f()` form when the blank position is error-typed.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	// Single call on the right: positions map through the result tuple.
+	if len(as.Rhs) == 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		idx, name := errorResults(pass, call)
+		if len(idx) == 0 {
+			return
+		}
+		for _, i := range idx {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				pass.Reportf(as.Lhs[i].Pos(),
+					"error returned by %s assigned to _; handle it or annotate //eqlint:allow errstrict -- reason", name)
+			}
+		}
+		return
+	}
+	// Parallel assignment: check each pair.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if t := pass.TypeOf(rhs); t != nil && isErrorType(t) {
+			pass.Reportf(as.Lhs[i].Pos(),
+				"error value assigned to _; handle it or annotate //eqlint:allow errstrict -- reason")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

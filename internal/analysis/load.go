@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path ("equalizer/internal/sm").
+	PkgPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info are the type-checking results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go command or network
+// access. Imports resolve through two roots only — the enclosing module
+// (paths under the go.mod module path) and GOROOT/src (the standard
+// library, including its vendored golang.org/x packages) — which covers
+// this dependency-free module completely. Standard-library dependencies are
+// type-checked from source, like x/tools' srcimporter.
+type Loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	goroot     string
+	ctxt       build.Context
+
+	pkgs    map[string]*Package // by import path, fully loaded
+	loading map[string]bool     // cycle detection
+}
+
+// NewLoader builds a loader for the module rooted at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false // tag-only analysis; keeps stdlib loads pure Go
+	return &Loader{
+		fset:       token.NewFileSet(),
+		moduleRoot: root,
+		modulePath: modPath,
+		goroot:     runtime.GOROOT(),
+		ctxt:       ctxt,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModulePath returns the module's import path prefix.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleRoot returns the module's directory.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// findModule walks up from dir to the enclosing go.mod and parses its module
+// path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// Expand resolves command-line patterns into package directories. Supported
+// forms: "./...", "dir/...", plain directories, and import paths within the
+// module. Directories without Go files are silently skipped for ... walks
+// and an error otherwise.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walkGoDirs(l.moduleRoot, addDir); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := l.resolveDir(strings.TrimSuffix(pat, "/..."))
+			if err := l.walkGoDirs(base, addDir); err != nil {
+				return nil, err
+			}
+		default:
+			d := l.resolveDir(pat)
+			if !hasGoFiles(d) {
+				return nil, fmt.Errorf("analysis: no Go files in %s", d)
+			}
+			addDir(d)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// resolveDir maps a pattern to a directory: module-relative import paths and
+// filesystem paths both work.
+func (l *Loader) resolveDir(pat string) string {
+	if rest, ok := strings.CutPrefix(pat, l.modulePath); ok && (rest == "" || rest[0] == '/') {
+		return filepath.Join(l.moduleRoot, rest)
+	}
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat)
+	}
+	return filepath.Join(l.moduleRoot, pat)
+}
+
+func (l *Loader) walkGoDirs(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			add(path)
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in dir (non-test files only), type-checking it
+// and every dependency. Results are cached per loader.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(l.pathForDir(dir), dir)
+}
+
+// pathForDir derives the import path of a module directory. Directories
+// outside the module (testdata trees) get a synthetic rooted path so they
+// can never collide with real imports.
+func (l *Loader) pathForDir(dir string) string {
+	if rel, err := filepath.Rel(l.moduleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.modulePath
+		}
+		return l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return "testdata.invalid/" + filepath.ToSlash(dir)
+}
+
+// dirForPath resolves an import path to its source directory.
+func (l *Loader) dirForPath(path string) (string, error) {
+	if rest, ok := strings.CutPrefix(path, l.modulePath); ok && (rest == "" || rest[0] == '/') {
+		return filepath.Join(l.moduleRoot, rest), nil
+	}
+	std := filepath.Join(l.goroot, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(std); err == nil {
+		return std, nil
+	}
+	vendored := filepath.Join(l.goroot, "src", "vendor", filepath.FromSlash(path))
+	if _, err := os.Stat(vendored); err == nil {
+		return vendored, nil
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q (not in module %s or GOROOT)", path, l.modulePath)
+}
+
+// load type-checks the package at dir under the given import path.
+func (l *Loader) load(pkgPath, dir string) (*Package, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", pkgPath, err)
+	}
+	p := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[pkgPath] = p
+	return p, nil
+}
+
+// loaderImporter adapts the loader to the go/types Importer interface.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, err := l.dirForPath(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.load(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}

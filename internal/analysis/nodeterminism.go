@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeterminism flags constructs that make simulator output depend on
+// anything but its inputs: wall-clock reads, the unseeded global math/rand
+// source, iteration over Go maps (randomised order), and goroutine
+// launches or cross-goroutine channel sends inside the simulator core. The
+// parallel experiment engine promises byte-identical figures at any worker
+// count; these are the constructs that silently break that promise.
+//
+// Map ranges are allowed when the body is pure key collection
+// (`keys = append(keys, k)`) or pure deletion (`delete(m, k)`) — the two
+// idioms whose effect is order-independent. Anything else needs sorted keys
+// or an //eqlint:allow nodeterminism directive with a justification.
+var NoDeterminism = &Analyzer{
+	Name:  "nodeterminism",
+	Doc:   "flags wall-clock reads, unseeded math/rand, map iteration and goroutine use in the simulator core",
+	Scope: simulatorScope,
+	Run:   runNoDeterminism,
+}
+
+// simulatorPackages are the module-relative package paths whose execution
+// must be a pure function of their inputs.
+var simulatorPackages = []string{
+	"internal/sm", "internal/gpu", "internal/cache", "internal/dram",
+	"internal/icnt", "internal/core", "internal/clock", "internal/exp",
+}
+
+func simulatorScope(pkgPath string) bool {
+	for _, p := range simulatorPackages {
+		if strings.HasSuffix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoDeterminism(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkNondeterministicCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"goroutine launch in simulator code makes event ordering scheduler-dependent")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send in simulator code is goroutine-ordering-sensitive")
+		}
+		return true
+	})
+	return nil
+}
+
+// checkNondeterministicCall flags selector uses that resolve to time.Now and
+// friends or to package-level math/rand functions (which draw from the
+// process-global, seed-by-default source).
+func checkNondeterministicCall(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Intn on an explicitly seeded source) are
+	// fine; only package-level functions are in question.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(),
+				"wall-clock read time.%s in simulator code; derive times from the simulated clock domains", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructing an explicitly seeded source is the sanctioned idiom.
+		default:
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the global random source; use rand.New(rand.NewSource(seed)) so runs are reproducible",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags ranges over map-typed expressions whose body is not
+// one of the order-independent idioms.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if mapRangeBodyIsOrderFree(pass, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic; collect and sort keys first (or //eqlint:allow nodeterminism -- why order cannot matter)")
+}
+
+// mapRangeBodyIsOrderFree recognises the two order-independent map-range
+// idioms: collecting keys into a slice for later sorting, and deleting
+// entries from the ranged map.
+func mapRangeBodyIsOrderFree(pass *Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	switch stmt := rng.Body.List[0].(type) {
+	case *ast.AssignStmt:
+		// keys = append(keys, k)
+		if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return false
+		}
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) != 2 {
+			return false
+		}
+		return identicalExprText(stmt.Lhs[0], call.Args[0]) &&
+			isIdentFor(call.Args[1], rng.Key)
+	case *ast.ExprStmt:
+		// delete(m, k)
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "delete") || len(call.Args) != 2 {
+			return false
+		}
+		return identicalExprText(call.Args[0], rng.X) && isIdentFor(call.Args[1], rng.Key)
+	}
+	return false
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+func isIdentFor(e ast.Expr, key ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	kid, ok2 := key.(*ast.Ident)
+	return ok && ok2 && id.Name == kid.Name
+}
+
+// identicalExprText compares two expressions structurally for the simple
+// ident / selector chains these idioms use.
+func identicalExprText(a, b ast.Expr) bool {
+	return exprChain(a) != "" && exprChain(a) == exprChain(b)
+}
+
+// exprChain renders an ident or selector chain ("s.l1Waiters"), or "" for
+// anything more complex.
+func exprChain(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprChain(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

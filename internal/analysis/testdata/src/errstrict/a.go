@@ -1,0 +1,58 @@
+// Package estest exercises the errstrict analyzer: persistence-path errors
+// must be consumed, and deliberate drops need a directive.
+package estest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func write(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want "error returned by os.WriteFile is ignored"
+}
+
+func writeBlank(path string, data []byte) {
+	_ = os.WriteFile(path, data, 0o644) // want "assigned to _"
+}
+
+func writeChecked(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	return nil
+}
+
+func readBlank(path string) []byte {
+	data, _ := os.ReadFile(path) // want "assigned to _"
+	return data
+}
+
+func removeAllowed(path string) {
+	os.Remove(path) //eqlint:allow errstrict -- best-effort cleanup of a temp file
+}
+
+func removeNolint(path string) {
+	os.Remove(path) //nolint:errcheck
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want "ignored by defer"
+}
+
+func plainCallOK() {
+	noError()
+}
+
+func noError() {}
+
+func infallibleSinks(buf *bytes.Buffer) string {
+	var b strings.Builder
+	b.WriteString("header\n")      // ok: strings.Builder never errors
+	fmt.Fprintf(&b, "row %d\n", 1) // ok: Fprintf into a Builder
+	buf.WriteString("x")           // ok: bytes.Buffer never errors
+	fmt.Fprintln(buf, "y")         // ok: Fprintln into a Buffer
+	fmt.Fprintln(os.Stdout, "z")   // want "error returned by fmt.Fprintln is ignored"
+	return b.String()
+}

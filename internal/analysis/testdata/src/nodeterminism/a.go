@@ -1,0 +1,86 @@
+// Package ndtest exercises the nodeterminism analyzer: every flagged line
+// carries a `// want` annotation and every sanctioned idiom must stay
+// silent.
+package ndtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() (time.Time, time.Duration) {
+	start := time.Now()    // want "wall-clock read time.Now"
+	d := time.Since(start) // want "wall-clock read time.Since"
+	return start, d
+}
+
+func parseOK(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s) // ok: pure function of its input
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "global random source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global random source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded source
+	return r.Intn(6)
+}
+
+func mapRangeFlagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+func mapRangeSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: pure key collection for sorting
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapRangeDelete(m map[string]int) {
+	for k := range m { // ok: pure deletion is order-independent
+		delete(m, k)
+	}
+}
+
+func mapRangeAllowed(m map[string]int) int {
+	n := 0
+	//eqlint:allow nodeterminism -- an integer count is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRangeOK(xs []int) int {
+	total := 0
+	for _, v := range xs { // ok: slices iterate in index order
+		total += v
+	}
+	return total
+}
+
+func goroutines(ch chan int) {
+	go func() { // want "goroutine launch"
+		ch <- 1 // want "channel send"
+	}()
+}
+
+func goroutineAllowed(ch chan int) {
+	//eqlint:allow nodeterminism -- results are merged through a keyed memo
+	go drain(ch)
+}
+
+func drain(ch chan int) { <-ch }

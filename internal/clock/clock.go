@@ -112,6 +112,8 @@ func (d *Domain) RequestLevel(target config.VFLevel, effective Time) {
 // Tick advances the domain by one cycle and returns the time at which that
 // cycle completed. Pending VF transitions are applied at cycle boundaries
 // once their effective time has been reached.
+//
+//eqlint:cycle-owner
 func (d *Domain) Tick() Time {
 	t := d.next
 	d.accumulateResidency(t)

@@ -22,6 +22,7 @@ import (
 	"equalizer/internal/clock"
 	"equalizer/internal/config"
 	"equalizer/internal/gpu"
+	"equalizer/internal/invariant"
 	"equalizer/internal/kernels"
 	"equalizer/internal/telemetry"
 )
@@ -304,6 +305,8 @@ func (e *Equalizer) TraceSM(i int) []TracePoint {
 func (e *Equalizer) TracedSMs() int { return len(e.traces) }
 
 // Reset implements gpu.Policy.
+//
+//eqlint:cycle-owner
 func (e *Equalizer) Reset(m *gpu.Machine, k kernels.Kernel) {
 	n := m.NumSMs()
 	e.wcta = make([]int, n)
@@ -327,6 +330,8 @@ func (e *Equalizer) ResetConcurrent(m *gpu.Machine, tasks []gpu.Task) {
 
 // OnSMCycle implements gpu.Policy: sample every SampleInterval cycles,
 // decide at every epoch boundary.
+//
+//eqlint:cycle-owner
 func (e *Equalizer) OnSMCycle(m *gpu.Machine, now clock.Time, smCycle int64) {
 	if smCycle%int64(e.cfg.SampleInterval) != 0 {
 		return
@@ -407,10 +412,26 @@ func (e *Equalizer) applyBlockDecision(m *gpu.Machine, smIdx int, a *smAccum, de
 		a.streak, a.streakDir = 1, delta
 	}
 	if a.streak < e.cfg.Hysteresis {
+		if invariant.Enabled {
+			e.verifyHysteresis(a)
+		}
 		return
 	}
 	m.SetTargetBlocks(smIdx, cur+delta)
 	a.streak, a.streakDir = 0, 0
+}
+
+// verifyHysteresis asserts the streak state machine's reachable states:
+// the streak saturates below the hysteresis threshold (it resets on the
+// epoch it fires), and a zero streak never carries a direction. Only
+// compiled in under the eqdebug build tag.
+func (e *Equalizer) verifyHysteresis(a *smAccum) {
+	invariant.Checkf(0 <= a.streak && a.streak < e.cfg.Hysteresis,
+		"equalizer: streak %d outside [0, %d)", a.streak, e.cfg.Hysteresis)
+	invariant.Checkf((a.streak == 0) == (a.streakDir == 0),
+		"equalizer: streak %d with direction %d", a.streak, a.streakDir)
+	invariant.Checkf(a.streakDir >= -1 && a.streakDir <= 1,
+		"equalizer: streak direction %d not in {-1, 0, +1}", a.streakDir)
 }
 
 func (a *smAccum) counters() Counters {

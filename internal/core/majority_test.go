@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestMajorityStrict pins the strict-majority semantics: a step requires
+// MORE than half the SMs (absent or abstaining SMs count against both
+// directions), and exact ties move nothing.
+func TestMajorityStrict(t *testing.T) {
+	up := Vote{SM: +1, Mem: -1}
+	down := Vote{SM: -1, Mem: +1}
+	abstain := Vote{}
+
+	cases := []struct {
+		name            string
+		votes           []Vote
+		wantSM, wantMem int
+	}{
+		{"empty", nil, 0, 0},
+		{"single up", []Vote{up}, +1, -1},
+		{"two-way tie", []Vote{up, down}, 0, 0},
+		{"exact half is not a majority", []Vote{up, up, down, abstain}, 0, 0},
+		{"strict majority up", []Vote{up, up, up, down}, +1, -1},
+		{"strict majority down", []Vote{down, down, down, up, abstain}, -1, +1},
+		{"abstentions dilute", []Vote{up, up, abstain, abstain, abstain}, 0, 0},
+		{"all abstain", []Vote{abstain, abstain, abstain}, 0, 0},
+		{"odd tie-breaker", []Vote{up, up, down, down, up}, +1, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sm, mem := Majority(tc.votes)
+			if sm != tc.wantSM || mem != tc.wantMem {
+				t.Fatalf("Majority(%v) = (%d, %d), want (%d, %d)",
+					tc.votes, sm, mem, tc.wantSM, tc.wantMem)
+			}
+		})
+	}
+}
+
+// TestMajorityOrderIndependence checks the vote tally is a pure function
+// of the multiset of votes: every permutation of a mixed ballot produces
+// the identical decision. This is the property that lets per-SM sampling
+// order vary without perturbing frequency decisions.
+func TestMajorityOrderIndependence(t *testing.T) {
+	ballot := []Vote{
+		{SM: +1, Mem: -1}, {SM: +1, Mem: -1}, {SM: +1, Mem: -1},
+		{SM: -1, Mem: +1}, {},
+	}
+	wantSM, wantMem := Majority(ballot)
+	if wantSM != +1 || wantMem != -1 {
+		t.Fatalf("baseline ballot = (%d, %d), want (+1, -1)", wantSM, wantMem)
+	}
+
+	permute(ballot, func(p []Vote) {
+		sm, mem := Majority(p)
+		if sm != wantSM || mem != wantMem {
+			t.Fatalf("Majority(%v) = (%d, %d), differs from canonical (%d, %d)",
+				p, sm, mem, wantSM, wantMem)
+		}
+	})
+}
+
+// TestMajorityAbsentSMs models SMs with no resident blocks: they abstain
+// rather than vote, so a loaded minority cannot retune the whole chip.
+func TestMajorityAbsentSMs(t *testing.T) {
+	// 2 of 15 SMs are active and memory-bound; 13 are drained. The two
+	// real votes are a minority of the 15-slot ballot.
+	votes := make([]Vote, 15)
+	votes[3] = VoteFor(TendMemory, EnergyMode)
+	votes[11] = VoteFor(TendMemory, EnergyMode)
+	if sm, mem := Majority(votes); sm != 0 || mem != 0 {
+		t.Fatalf("2/15 votes moved the chip: (%d, %d)", sm, mem)
+	}
+
+	// The same two votes on a two-SM machine are unanimous.
+	if sm, mem := Majority(votes[:0:0]); sm != 0 || mem != 0 {
+		t.Fatalf("empty ballot moved the chip: (%d, %d)", sm, mem)
+	}
+	pair := []Vote{VoteFor(TendMemory, EnergyMode), VoteFor(TendMemory, EnergyMode)}
+	if sm, mem := Majority(pair); sm != -1 || mem != +1 {
+		t.Fatalf("unanimous memory tendency = (%d, %d), want (-1, +1)", sm, mem)
+	}
+}
+
+// permute invokes fn with every permutation of votes (Heap's algorithm,
+// in-place; fn must not retain the slice).
+func permute(votes []Vote, fn func([]Vote)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k <= 1 {
+			fn(votes)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				votes[i], votes[k-1] = votes[k-1], votes[i]
+			} else {
+				votes[0], votes[k-1] = votes[k-1], votes[0]
+			}
+		}
+	}
+	rec(len(votes))
+}

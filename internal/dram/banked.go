@@ -191,6 +191,8 @@ func (b *Banked) ResetStats() { b.stats = BankedStats{} }
 // lines. FR-FCFS: the scheduler scans banks round-robin and, within the
 // chosen bank, services the oldest row-buffer hit if one exists, else the
 // oldest request (opening its row).
+//
+//eqlint:cycle-owner
 func (b *Banked) Step(now int64) []cache.Addr {
 	b.stats.StepCycles++
 	b.stats.QueueCycleSum += uint64(b.pending)

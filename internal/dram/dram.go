@@ -153,6 +153,8 @@ func (c *Controller) Pending() int { return len(c.queue) + len(c.inService) }
 // increasing, one call per cycle) and returns the line addresses whose data
 // transfer completed this cycle, in completion order. The returned slice is
 // reused across calls; callers must not retain it.
+//
+//eqlint:cycle-owner
 func (c *Controller) Step(now int64) []cache.Addr {
 	c.stats.StepCycles++
 	c.stats.QueueCycleSum += uint64(len(c.queue))

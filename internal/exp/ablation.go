@@ -77,7 +77,7 @@ func (h *Harness) AblationEpoch(mode core.Mode) ([]AblationPoint, error) {
 	var out []AblationPoint
 	for _, epoch := range []int{1024, 2048, 4096, 8192, 16384} {
 		cfg := config.DefaultEqualizer()
-		cfg.EpochCycles = epoch
+		cfg.EpochCycles = epoch //eqlint:allow cycleaccounting -- writes the epoch-length config knob, not a live counter
 		p, err := h.runAblationPoint(fmt.Sprintf("epoch=%d", epoch), cfg, mode)
 		if err != nil {
 			return nil, err

@@ -198,13 +198,16 @@ func (h *Harness) Figure2a() (Fig2aData, error) {
 		{Kernel: k, Setup: StaticBlocks(3)},
 	})
 	var d Fig2aData
-	runs := map[int]*[]int64{1: &d.Blocks1, 2: &d.Blocks2, 3: &d.Blocks3}
-	for b, dst := range runs {
-		t, err := h.Run(k, StaticBlocks(b))
+	runs := []struct {
+		blocks int
+		dst    *[]int64
+	}{{1, &d.Blocks1}, {2, &d.Blocks2}, {3, &d.Blocks3}}
+	for _, r := range runs {
+		t, err := h.Run(k, StaticBlocks(r.blocks))
 		if err != nil {
 			return d, err
 		}
-		*dst = t.PerInvocationPS
+		*r.dst = t.PerInvocationPS
 	}
 	// Opt picks the best configuration per invocation.
 	for inv := range d.Blocks1 {

@@ -119,7 +119,11 @@ func SummarizeFigure7(rows []Fig7Row) (Fig7Summary, error) {
 	if s.MemSpeedup, err = metrics.GeomeanErr(mem); err != nil {
 		return s, fmt.Errorf("figure 7 mem-boost speedups: %w", err)
 	}
-	for c, xs := range perCat {
+	for _, c := range kernels.Categories() {
+		xs, ok := perCat[c]
+		if !ok {
+			continue
+		}
 		if s.PerCategory[c], err = metrics.GeomeanErr(xs); err != nil {
 			return s, fmt.Errorf("figure 7 category %s: %w", c, err)
 		}
@@ -276,12 +280,14 @@ func SummarizeFigure8(rows []Fig8Row) (Fig8Summary, error) {
 	if s.MemLowPerf, err = metrics.GeomeanErr(memP); err != nil {
 		return s, fmt.Errorf("figure 8 mem-low performance: %w", err)
 	}
-	for c, xs := range catS {
-		s.PerCategorySavings[c] = metrics.Mean(xs)
-	}
-	for c, xs := range catP {
-		if s.PerCategoryPerf[c], err = metrics.GeomeanErr(xs); err != nil {
-			return s, fmt.Errorf("figure 8 category %s: %w", c, err)
+	for _, c := range kernels.Categories() {
+		if xs, ok := catS[c]; ok {
+			s.PerCategorySavings[c] = metrics.Mean(xs)
+		}
+		if xs, ok := catP[c]; ok {
+			if s.PerCategoryPerf[c], err = metrics.GeomeanErr(xs); err != nil {
+				return s, fmt.Errorf("figure 8 category %s: %w", c, err)
+			}
 		}
 	}
 	return s, nil

@@ -14,6 +14,7 @@ package runcache
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -74,7 +75,9 @@ func (c *Cache) Load(key string, v interface{}) (bool, error) {
 		return false, fmt.Errorf("runcache: read %s: %w", path, err)
 	}
 	if err := json.Unmarshal(data, v); err != nil {
-		os.Remove(path)
+		if rmErr := os.Remove(path); rmErr != nil {
+			return false, fmt.Errorf("runcache: corrupt entry %s (removal failed: %v): %w", path, rmErr, err)
+		}
 		return false, fmt.Errorf("runcache: corrupt entry %s (removed): %w", path, err)
 	}
 	return true, nil
@@ -93,17 +96,25 @@ func (c *Cache) Store(key string, v interface{}) error {
 		return fmt.Errorf("runcache: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: write %s: %w", path, err)
+		return fmt.Errorf("runcache: write %s: %w", path,
+			errors.Join(err, tmp.Close(), removeIfPresent(tmp.Name())))
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: close %s: %w", path, err)
+		return fmt.Errorf("runcache: close %s: %w", path,
+			errors.Join(err, removeIfPresent(tmp.Name())))
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: commit %s: %w", path, err)
+		return fmt.Errorf("runcache: commit %s: %w", path,
+			errors.Join(err, removeIfPresent(tmp.Name())))
+	}
+	return nil
+}
+
+// removeIfPresent deletes path, treating "already gone" as success so it
+// can be folded into errors.Join without masking the primary failure.
+func removeIfPresent(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"equalizer/internal/dram"
 	"equalizer/internal/events"
 	"equalizer/internal/icnt"
+	"equalizer/internal/invariant"
 	"equalizer/internal/kernels"
 	"equalizer/internal/power"
 	"equalizer/internal/sm"
@@ -402,6 +403,10 @@ func (m *Machine) RunConcurrent(tasks []Task) ([]Result, Result, error) {
 	return m.run(tasks)
 }
 
+// run is the interleaved two-domain event loop and the canonical advance
+// site for the machine-level cycle counters.
+//
+//eqlint:cycle-owner
 func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 	m.parts = m.parts[:0]
 	n := m.cfg.NumSMs
@@ -438,6 +443,7 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 		s.SetL1Listener(nil)
 	}
 	m.l2.Flush()
+	//eqlint:allow nodeterminism -- recycles waiter slices into a pool; only capacities survive, never order
 	for line, w := range m.l2Waiters {
 		m.l2WaiterPool = append(m.l2WaiterPool, w[:0])
 		delete(m.l2Waiters, line)
@@ -483,6 +489,9 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 			m.dispatchBlocks(int64(now))
 			if m.policy != nil {
 				m.policy.OnSMCycle(m, now, smCycle)
+			}
+			if invariant.Enabled && smCycle%machineCheckInterval == 0 {
+				m.verifyInvariants()
 			}
 			if smCycle > maxInvocationCycles {
 				return nil, Result{}, fmt.Errorf("gpu: %s invocation %d exceeded %d cycles",
@@ -542,6 +551,43 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 		}
 	}
 	return results, total, nil
+}
+
+// machineCheckInterval spaces the machine-wide invariant sweep; it is
+// coarser than the per-SM recount because every check here walks shared
+// structures.
+const machineCheckInterval = 4096
+
+// verifyInvariants asserts machine-wide conservation laws. Only compiled
+// in under the eqdebug build tag.
+func (m *Machine) verifyInvariants() {
+	// DVFS levels always hold one of the three architected operating
+	// points, mid-transition included.
+	invariant.Checkf(m.smDomain.Level().Valid(),
+		"gpu: SM domain at invalid DVFS level %d", m.smDomain.Level())
+	invariant.Checkf(m.memDomain.Level().Valid(),
+		"gpu: memory domain at invalid DVFS level %d", m.memDomain.Level())
+
+	// L2 accounting: every demand access resolves to exactly one outcome
+	// (rejected probes are excluded from Accesses by design).
+	cs := m.l2.Stats()
+	invariant.Checkf(cs.Hits+cs.Misses+cs.Merged == cs.Accesses,
+		"gpu: L2 stats leak: hits=%d misses=%d merged=%d accesses=%d",
+		cs.Hits, cs.Misses, cs.Merged, cs.Accesses)
+
+	// DRAM accounting: the device cannot be busy for more cycles than it
+	// observed, nor finish more requests than it accepted.
+	ds := m.dram.Stats()
+	invariant.Checkf(ds.BusyCycles <= ds.StepCycles,
+		"gpu: DRAM busy %d of %d observed cycles", ds.BusyCycles, ds.StepCycles)
+	invariant.Checkf(ds.Serviced <= ds.Enqueued,
+		"gpu: DRAM serviced %d of %d enqueued requests", ds.Serviced, ds.Enqueued)
+
+	// Every outstanding L2 waiter list belongs to a miss still in flight;
+	// an empty list would mean a fill went unrouted.
+	for line, ws := range m.l2Waiters { //eqlint:allow nodeterminism -- read-only sweep; panics on first violation only
+		invariant.Checkf(len(ws) > 0, "gpu: empty L2 waiter list for line %#x", line)
+	}
 }
 
 // done reports completion and stamps partition finish times.

@@ -1,0 +1,10 @@
+//go:build !eqdebug
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Checkf is a no-op in release builds. Call sites must still guard with
+// `if invariant.Enabled` so argument evaluation is compiled out too.
+func Checkf(cond bool, format string, args ...any) {}

@@ -1,0 +1,18 @@
+//go:build eqdebug
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Checkf panics with a formatted message when cond is false. A violated
+// invariant means simulator state has already diverged from the model, so
+// continuing would only move the crash further from the cause.
+func Checkf(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	panic("invariant violated: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,20 @@
+// Package invariant is the build-tag-gated assertion layer for the
+// simulator's conservation laws. Under the `eqdebug` build tag, Enabled is
+// the constant true and Checkf panics on a violated condition; in default
+// builds Enabled is the constant false and Checkf is an empty function, so
+//
+//	if invariant.Enabled {
+//		invariant.Checkf(cond, "...", args...)
+//	}
+//
+// compiles to nothing: the constant-false branch is removed by the
+// compiler, the call never happens, and the arguments are never evaluated.
+// That guard is the required idiom — a bare Checkf call would still
+// evaluate (and possibly allocate) its arguments in release builds.
+//
+// The checks themselves live next to the state they verify (internal/sm,
+// internal/gpu, internal/core); this package only supplies the switch and
+// the panic. Run them with:
+//
+//	go test -tags eqdebug ./internal/...
+package invariant

@@ -1,0 +1,30 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckf exercises both build modes: under eqdebug a false condition
+// must panic with the formatted message, in release builds Checkf must be
+// silent either way.
+func TestCheckf(t *testing.T) {
+	Checkf(true, "never fires %d", 1)
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		Checkf(false, "census leak: %d != %d", 3, 4)
+	}()
+	if Enabled {
+		msg, ok := recovered.(string)
+		if !ok {
+			t.Fatalf("Checkf(false) recovered %v (%T), want string panic", recovered, recovered)
+		}
+		if !strings.Contains(msg, "invariant violated") || !strings.Contains(msg, "3 != 4") {
+			t.Fatalf("panic message %q missing prefix or formatted args", msg)
+		}
+	} else if recovered != nil {
+		t.Fatalf("Checkf(false) panicked in release mode: %v", recovered)
+	}
+}

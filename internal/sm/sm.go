@@ -16,6 +16,7 @@ import (
 	"equalizer/internal/clock"
 	"equalizer/internal/config"
 	"equalizer/internal/events"
+	"equalizer/internal/invariant"
 	"equalizer/internal/telemetry"
 	"equalizer/internal/warp"
 )
@@ -428,6 +429,8 @@ func (s *SM) Idle() bool {
 // Step advances the SM by one cycle ending at time now (the current SM-domain
 // cycle boundary). smPeriod is the current SM clock period, used to convert
 // latencies expressed in SM cycles into absolute times.
+//
+//eqlint:cycle-owner
 func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
 	s.nowPS = int64(now)
 	s.stats.Cycles++
@@ -451,6 +454,90 @@ func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
 
 	// 3. Issue: classify warps, pick one ALU and one MEM candidate.
 	s.issue(now, smPeriod)
+
+	if invariant.Enabled {
+		s.verifyInvariants()
+	}
+}
+
+// verifyInvariants asserts the SM conservation laws at a cycle boundary.
+// Only compiled in under the eqdebug build tag; the cheap O(1) checks run
+// every cycle and the full recount every recountInterval cycles.
+func (s *SM) verifyInvariants() {
+	// Census conservation: every active warp is in exactly one bucket.
+	snap := s.snap
+	invariant.Checkf(snap.Active == snap.Waiting+snap.Issued+snap.XALU+snap.XMEM+snap.Others,
+		"sm %d warp census leak: active=%d waiting=%d issued=%d xalu=%d xmem=%d others=%d",
+		s.index, snap.Active, snap.Waiting, snap.Issued, snap.XALU, snap.XMEM, snap.Others)
+
+	// Block accounting: resident blocks within hardware bounds, and the
+	// paused count is exactly the overshoot past the policy's ceiling
+	// (rebalancePausing's three-way contract with the dispatcher).
+	invariant.Checkf(0 <= s.activeBlocks && s.activeBlocks <= s.residentBlocks &&
+		s.residentBlocks <= s.cfg.MaxBlocksPerSM,
+		"sm %d block counts out of range: active=%d resident=%d max=%d",
+		s.index, s.activeBlocks, s.residentBlocks, s.cfg.MaxBlocksPerSM)
+	wantPaused := s.residentBlocks - s.targetBlocks
+	if wantPaused < 0 {
+		wantPaused = 0
+	}
+	invariant.Checkf(s.residentBlocks-s.activeBlocks == wantPaused,
+		"sm %d pausing drift: paused=%d, want max(0, resident=%d - target=%d)",
+		s.index, s.residentBlocks-s.activeBlocks, s.residentBlocks, s.targetBlocks)
+
+	if s.stats.Cycles%recountInterval == 0 {
+		s.recountInvariants()
+	}
+}
+
+// recountInterval spaces the O(warps+blocks) ground-truth recount; a power
+// of two well below the epoch length so drift is caught within an epoch.
+const recountInterval = 128
+
+// recountInvariants recomputes the cached census counters from the
+// authoritative per-slot state and checks cache-statistics conservation.
+func (s *SM) recountInvariants() {
+	resident, active, live := 0, 0, 0
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		if !b.valid {
+			continue
+		}
+		resident++
+		if !b.paused {
+			active++
+		}
+		live += b.liveWarps
+		invariant.Checkf(b.barWaiting <= b.liveWarps,
+			"sm %d block %d: %d warps at barrier but only %d live",
+			s.index, i, b.barWaiting, b.liveWarps)
+	}
+	invariant.Checkf(resident == s.residentBlocks,
+		"sm %d resident-block drift: cached %d, recount %d", s.index, s.residentBlocks, resident)
+	invariant.Checkf(active == s.activeBlocks,
+		"sm %d active-block drift: cached %d, recount %d", s.index, s.activeBlocks, active)
+	invariant.Checkf(live == s.liveWarps,
+		"sm %d live-warp drift: cached %d, recount %d", s.index, s.liveWarps, live)
+
+	// Warp-slot conservation: every slot is either free or holds a valid
+	// context.
+	validWarps := 0
+	for i := range s.warps {
+		if s.warps[i].valid {
+			validWarps++
+		}
+	}
+	invariant.Checkf(validWarps+len(s.freeWarpSlots) == s.cfg.MaxWarpsPerSM,
+		"sm %d warp-slot leak: %d valid + %d free != %d slots",
+		s.index, validWarps, len(s.freeWarpSlots), s.cfg.MaxWarpsPerSM)
+
+	// L1 accounting: every demand access resolves to exactly one outcome.
+	// Rejected probes are excluded from Accesses by design — the warp
+	// retries, so counting them would skew hit rates.
+	cs := s.l1.Stats()
+	invariant.Checkf(cs.Hits+cs.Misses+cs.Merged == cs.Accesses,
+		"sm %d L1 stats leak: hits=%d misses=%d merged=%d accesses=%d",
+		s.index, cs.Hits, cs.Misses, cs.Merged, cs.Accesses)
 }
 
 // drainQueue advances one memory queue by one line access and reports
@@ -677,6 +764,7 @@ func (s *SM) Reset(resetStats bool) {
 		s.freeWarpSlots = append(s.freeWarpSlots, i)
 	}
 	s.l1.Flush()
+	//eqlint:allow nodeterminism -- recycles waiter slices into a pool; only capacities survive, never order
 	for line, w := range s.l1Waiters {
 		s.waiterPool = append(s.waiterPool, w[:0])
 		delete(s.l1Waiters, line)

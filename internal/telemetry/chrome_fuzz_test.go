@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// eventRecordBytes is the packed wire size FuzzChromeTraceTruncation uses
+// to decode fuzz input into events: 3×int64 + int16 + 1 kind byte.
+const eventRecordBytes = 3*8 + 2 + 1
+
+// decodeFuzzEvents reinterprets raw bytes as an event stream. Arbitrary
+// bytes produce arbitrary (including out-of-range) kinds, payloads and
+// non-monotonic timestamps — exactly the malformed streams a truncated or
+// wrapped ring buffer can hand to the exporter.
+func decodeFuzzEvents(data []byte) []Event {
+	n := len(data) / eventRecordBytes
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		rec := data[i*eventRecordBytes:]
+		events = append(events, Event{
+			TimePS: int64(binary.LittleEndian.Uint64(rec[0:])),
+			A:      int64(binary.LittleEndian.Uint64(rec[8:])),
+			B:      int64(binary.LittleEndian.Uint64(rec[16:])),
+			Src:    int16(binary.LittleEndian.Uint16(rec[24:])),
+			Kind:   Kind(rec[26]),
+		})
+	}
+	return events
+}
+
+// FuzzChromeTraceTruncation feeds arbitrary event streams — including ones
+// whose span-opening events are missing, duplicated or reordered, as after
+// ring-buffer wrap-around — to the Chrome trace exporter and asserts it
+// never panics and always emits valid JSON.
+func FuzzChromeTraceTruncation(f *testing.F) {
+	// Seed with a realistic stream: kernel span, epoch marks, VF changes —
+	// then truncated variants of it.
+	bus := NewBus(64, MaskAll)
+	bus.Emit(0, KindKernelBegin, -1, 0, 100)
+	bus.Emit(10, KindEpoch, -1, 1, 0)
+	bus.Emit(20, KindVFShift, 0, 1, 2)
+	bus.Emit(30, KindKernelEnd, -1, 0, 100)
+	var seed []byte
+	for _, e := range bus.Events() {
+		var rec [eventRecordBytes]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(e.TimePS))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(e.A))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.B))
+		binary.LittleEndian.PutUint16(rec[24:], uint16(e.Src))
+		rec[26] = byte(e.Kind)
+		seed = append(seed, rec[:]...)
+	}
+	f.Add(seed)
+	for cut := 1; cut < len(seed); cut += eventRecordBytes + 7 {
+		f.Add(seed[cut:]) // drop opening records mid-stream
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 4*eventRecordBytes))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := decodeFuzzEvents(data)
+		var out bytes.Buffer
+		if err := WriteChromeTrace(&out, events, ChromeOptions{NumSMs: 2}); err != nil {
+			t.Fatalf("WriteChromeTrace failed on a decodable stream: %v", err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+			t.Fatalf("exporter produced invalid JSON: %v", err)
+		}
+		if _, ok := doc["traceEvents"]; !ok {
+			t.Fatal("trace document missing traceEvents array")
+		}
+	})
+}
