@@ -183,6 +183,49 @@ func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
 
+// benchmarkEngine runs one kernel to completion on the selected cycle engine
+// and reports simulated SM cycles per wall second. The fast/legacy pairs
+// below are the cycle-engine smoke benchmarks CI tracks (BENCH_engine.json
+// holds the full-scale numbers from cmd/eqbench -exp engine).
+func benchmarkEngine(b *testing.B, kernel string, fastForward bool) {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m := gpu.MustNew(config.Default(), power.Default(), core.New(core.EnergyMode))
+		m.SetFastForward(fastForward)
+		for inv := 0; inv < k.Invocations; inv++ {
+			res, err := m.RunKernel(k, inv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.SMCycles
+		}
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkEngine measures the cycle engines on one compute-bound and one
+// memory-bound kernel: cutcp saturates the ALU pipes (the bitset issue path
+// carries the fast engine's win), lbm stalls on DRAM (the quiescent-cycle
+// bulk advance carries it).
+func BenchmarkEngine(b *testing.B) {
+	for _, kernel := range []string{"cutcp", "lbm"} {
+		for _, engine := range []struct {
+			name string
+			fast bool
+		}{{"fast", true}, {"legacy", false}} {
+			b.Run(kernel+"/"+engine.name, func(b *testing.B) {
+				benchmarkEngine(b, kernel, engine.fast)
+			})
+		}
+	}
+}
+
 // BenchmarkEqualizerOverhead measures the wall-time cost of the Equalizer
 // policy hooks relative to the bare simulator.
 func BenchmarkEqualizerOverhead(b *testing.B) {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/power"
+)
+
+// The cycle-engine throughput benchmark (-exp engine) times one
+// compute-bound and one memory-bound kernel under the Equalizer runtime on
+// both cycle engines and reports simulated SM cycles per wall second. CI
+// stores the JSON form as BENCH_engine.json to track the engine's perf
+// trajectory; the fast/legacy ratio is the fast path's win. Wall-clock
+// timing lives here in cmd because the internal simulator packages are under
+// the nodeterminism analyzer's wall-clock ban.
+
+// engineRun is one (kernel, engine) measurement.
+type engineRun struct {
+	Kernel       string  `json:"kernel"`
+	Bound        string  `json:"bound"`
+	Engine       string  `json:"engine"`
+	SMCycles     int64   `json:"sm_cycles"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// engineReport is the JSON form of -exp engine (BENCH_engine.json).
+type engineReport struct {
+	Runs []engineRun `json:"runs"`
+	// Speedup is the fast engine's cycles/s over the legacy loop, per kernel.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// engineCases pairs one kernel from each end of the paper's workload
+// spectrum: cutcp saturates the ALU pipes (few quiescent cycles; the bitset
+// issue path carries the win) and lbm stalls on DRAM (long quiescent spans;
+// the bulk fast-forward carries it).
+var engineCases = []struct{ kernel, bound string }{
+	{"cutcp", "compute"},
+	{"lbm", "memory"},
+}
+
+func engineBench(scale float64) (engineReport, error) {
+	rep := engineReport{Speedup: map[string]float64{}}
+	for _, c := range engineCases {
+		k, err := kernels.ByName(c.kernel)
+		if err != nil {
+			return rep, err
+		}
+		if scale > 0 && scale < 1 {
+			k = k.WithGridScale(scale, 1)
+		}
+		rate := map[string]float64{}
+		for _, engine := range []string{"legacy", "fast"} {
+			m, err := gpu.New(config.Default(), power.Default(), core.New(core.EnergyMode))
+			if err != nil {
+				return rep, err
+			}
+			m.SetFastForward(engine == "fast")
+			var cycles int64
+			start := time.Now()
+			for inv := 0; inv < k.Invocations; inv++ {
+				res, err := m.RunKernel(k, inv)
+				if err != nil {
+					return rep, err
+				}
+				cycles += res.SMCycles
+			}
+			elapsed := time.Since(start).Seconds()
+			r := engineRun{
+				Kernel: c.kernel, Bound: c.bound, Engine: engine,
+				SMCycles: cycles, ElapsedSec: elapsed,
+				CyclesPerSec: float64(cycles) / elapsed,
+			}
+			rep.Runs = append(rep.Runs, r)
+			rate[engine] = r.CyclesPerSec
+		}
+		rep.Speedup[c.kernel] = rate["fast"] / rate["legacy"]
+	}
+	return rep, nil
+}
+
+func renderEngine(rep engineReport) string {
+	var b strings.Builder
+	b.WriteString("Cycle-engine throughput (simulated SM cycles per wall second)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-7s %12s %9s %14s\n",
+		"kernel", "bound", "engine", "sm-cycles", "wall-s", "cycles/s")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "%-8s %-8s %-7s %12d %9.3f %14.0f\n",
+			r.Kernel, r.Bound, r.Engine, r.SMCycles, r.ElapsedSec, r.CyclesPerSec)
+	}
+	for _, c := range engineCases {
+		fmt.Fprintf(&b, "%s fast-engine speedup: %.2fx\n", c.kernel, rep.Speedup[c.kernel])
+	}
+	return b.String()
+}

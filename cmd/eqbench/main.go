@@ -7,6 +7,7 @@
 //	eqbench -exp fig7           # one experiment
 //	eqbench -exp summary        # headline numbers only
 //	eqbench -exp fig1 -scale .5 # scaled-down grids for a quick look
+//	eqbench -exp engine -json   # cycle-engine throughput (BENCH_engine.json)
 //
 // Experiments: table1 table2 table3 fig1 fig2a fig2b fig4 fig5 fig7 fig8
 // fig9 fig10 fig11a fig11b summary all, plus the extension studies
@@ -37,7 +38,7 @@ func main() {
 	var (
 		expName    = flag.String("exp", "summary", "experiment id or 'all'")
 		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
-		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost)")
+		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost, engine)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
@@ -61,7 +62,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *asJSON {
-		if err := runJSON(h, *expName); err != nil {
+		if err := runJSON(h, *expName, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,7 +77,7 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		out, err := run(h, strings.TrimSpace(name))
+		out, err := run(h, strings.TrimSpace(name), *scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eqbench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -116,8 +117,14 @@ func printStats(h *exp.Harness) {
 		st.CacheMisses, st.CacheStores, st.CacheErrors)
 }
 
-func run(h *exp.Harness, name string) (string, error) {
+func run(h *exp.Harness, name string, scale float64) (string, error) {
 	switch name {
+	case "engine":
+		rep, err := engineBench(scale)
+		if err != nil {
+			return "", err
+		}
+		return renderEngine(rep), nil
 	case "table1":
 		return h.Table1(), nil
 	case "table2":
@@ -222,10 +229,12 @@ type summaryReport struct {
 }
 
 // runJSON emits the structured form of the data-bearing experiments.
-func runJSON(h *exp.Harness, name string) error {
+func runJSON(h *exp.Harness, name string, scale float64) error {
 	var v interface{}
 	var err error
 	switch name {
+	case "engine":
+		v, err = engineBench(scale)
 	case "fig7":
 		v, err = h.Figure7()
 	case "fig8":

@@ -48,6 +48,7 @@ func main() {
 		set        = flag.String("set", "", "comma-separated config overrides, e.g. numsms=8,l1.sets=32,epochcycles=2048")
 		metricsFmt = flag.String("metrics-format", "prom", "metrics file format: prom | json")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		fastFwd    = flag.Bool("fastforward", true, "use the fast-path cycle engine (quiescent-cycle skip + bitset scheduling); false falls back to the legacy per-cycle loop")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
@@ -100,8 +101,10 @@ func main() {
 	// state); everything else routes through the exp harness so results are
 	// served from and stored to the shared disk cache.
 	// Config overrides also bypass the cache: its keys assume the default
-	// machine model.
-	if !*verbose && *metrics == "" && !*noCache && *set == "" {
+	// machine model. -fastforward=false does too: the escape hatch exists to
+	// re-run suspect results on the legacy engine, never to serve them from a
+	// cache populated by the fast path.
+	if !*verbose && *metrics == "" && !*noCache && *set == "" && *fastFwd {
 		cache, err := runcache.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
@@ -120,6 +123,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		m.SetFastForward(*fastFwd)
 		if static {
 			m.SetLevelsImmediate(sl, ml)
 		}

@@ -265,7 +265,10 @@ type Equalizer struct {
 	epoch  int
 }
 
-var _ gpu.Policy = (*Equalizer)(nil)
+var (
+	_ gpu.Policy           = (*Equalizer)(nil)
+	_ gpu.FastForwardAware = (*Equalizer)(nil)
+)
 
 // New builds an Equalizer policy in the given mode with the paper's default
 // runtime parameters.
@@ -350,6 +353,43 @@ func (e *Equalizer) OnSMCycle(m *gpu.Machine, now clock.Time, smCycle int64) {
 	}
 	e.epoch++
 	e.decideEpoch(m, int64(now))
+}
+
+// NextActiveCycle implements gpu.FastForwardAware: between epoch boundaries
+// OnSMCycle only samples the (constant, during a quiescent span) census into
+// per-SM accumulators, which AccumulateSpan replays arithmetically. The
+// decision at each EpochCycles multiple retunes the machine and must run for
+// real.
+func (e *Equalizer) NextActiveCycle(smCycle int64) int64 {
+	ec := int64(e.cfg.EpochCycles)
+	return (smCycle/ec + 1) * ec
+}
+
+// AccumulateSpan implements gpu.FastForwardAware: add one sample per
+// SampleInterval multiple in [fromCycle, toCycle], each an exact copy of the
+// current census snapshot — precisely what OnSMCycle would have accumulated
+// cycle by cycle over a quiescent span.
+func (e *Equalizer) AccumulateSpan(m *gpu.Machine, fromCycle, toCycle int64) {
+	if invariant.Enabled {
+		ec := int64(e.cfg.EpochCycles)
+		invariant.Checkf(toCycle/ec == (fromCycle-1)/ec,
+			"equalizer: fast-forward span [%d, %d] crosses an epoch boundary",
+			fromCycle, toCycle)
+	}
+	si := int64(e.cfg.SampleInterval)
+	k := toCycle/si - (fromCycle-1)/si
+	if k == 0 {
+		return
+	}
+	for i := range e.accum {
+		snap := m.SM(i).Snapshot()
+		a := &e.accum[i]
+		a.active += k * int64(snap.Active)
+		a.waiting += k * int64(snap.Waiting)
+		a.xalu += k * int64(snap.XALU)
+		a.xmem += k * int64(snap.XMEM)
+		a.samples += int(k)
+	}
 }
 
 func (e *Equalizer) decideEpoch(m *gpu.Machine, nowPS int64) {

@@ -183,6 +183,32 @@ func (c *Controller) Step(now int64) []cache.Addr {
 	return c.completed
 }
 
+// SkipIdle advances the controller's statistics over n consecutive idle
+// cycles first..first+n-1 in closed form, exactly as n Step calls on a
+// drained controller would. The caller guarantees Drained() — no queued or
+// in-service work — so the only per-cycle effects are the cycle census and
+// the residual busy window of the last transfer (empty whenever Latency >= 0,
+// but computed exactly rather than assumed).
+//
+//eqlint:cycle-owner
+func (c *Controller) SkipIdle(first, n int64) {
+	c.stats.StepCycles += uint64(n)
+	// Busy cycles are those t in [first, first+n) with t < nextStart and
+	// nextStart-t <= ServiceInterval, i.e. the overlap with
+	// [nextStart-ServiceInterval, nextStart).
+	lo := c.nextStart - int64(c.cfg.ServiceInterval)
+	if lo < first {
+		lo = first
+	}
+	hi := c.nextStart
+	if hi > first+n {
+		hi = first + n
+	}
+	if hi > lo {
+		c.stats.BusyCycles += uint64(hi - lo)
+	}
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (c *Controller) Stats() Stats { return c.stats }
 

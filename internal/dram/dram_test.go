@@ -186,3 +186,37 @@ func TestQuickConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSkipIdleMatchesIdleSteps drives two flat controllers through the same
+// request burst, drains both, then advances one with per-cycle Steps and the
+// other with a single SkipIdle and compares statistics — including the cycle
+// right after the last completion, where a residual busy window could hide.
+func TestSkipIdleMatchesIdleSteps(t *testing.T) {
+	for _, latency := range []int{0, 3, 100} {
+		cfg := Config{QueueDepth: 8, ServiceInterval: 4, Latency: latency}
+		step := MustNew(cfg)
+		skip := MustNew(cfg)
+		for i := 0; i < 5; i++ {
+			step.Enqueue(cache.Addr(i * 128))
+			skip.Enqueue(cache.Addr(i * 128))
+		}
+		now := int64(0)
+		for !step.Drained() || !skip.Drained() {
+			step.Step(now)
+			skip.Step(now)
+			now++
+			if now > 10_000 {
+				t.Fatal("controllers never drained")
+			}
+		}
+		const n = 1000
+		for i := int64(0); i < n; i++ {
+			step.Step(now + i)
+		}
+		skip.SkipIdle(now, n)
+		if step.Stats() != skip.Stats() {
+			t.Fatalf("latency=%d: stepped stats %+v, skipped stats %+v",
+				latency, step.Stats(), skip.Stats())
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package events
+
+// Calendar is a bucketed timer wheel specialised for the SM's wake queues:
+// pushes cluster a bounded horizon ahead of a monotonically advancing cursor
+// (cache-hit latencies, DRAM returns, dependency gaps), and PopReady is called
+// once per cycle with a non-decreasing `now`. Delivering a cycle's expirations
+// costs O(delivered) instead of the heap's O(delivered·log n).
+//
+// Ordering contract: PopReady delivers whole buckets in time-bucket order and
+// entries within a bucket in insertion order — NOT globally sorted by
+// timestamp like Queue. Callers must have commutative handlers for same-cycle
+// deliveries (the SM's wake and gap handlers are: each only decrements an
+// independent per-warp counter or clears an independent bit). Callers that
+// need strict (time, insertion) order keep using Queue.
+//
+// Entries scheduled beyond the wheel's horizon go to an overflow min-heap and
+// pop from there when due; they are never migrated into the wheel.
+type Calendar[T any] struct {
+	buckets [][]calEntry[T]
+	mask    int64
+	width   int64
+	// cur is the absolute bucket number of the cursor: every bucket below it
+	// has been fully delivered.
+	cur int64
+	// wheelN counts entries resident in the wheel (excludes overflow).
+	wheelN   int
+	overflow Queue[T]
+
+	// nextWheelAt caches the earliest wheel timestamp; invalidated by
+	// deliveries and recomputed lazily so NextAt is O(1) between pops.
+	nextWheelAt    int64
+	nextWheelValid bool
+}
+
+type calEntry[T any] struct {
+	at  int64
+	val T
+}
+
+// NewCalendar builds a wheel of `buckets` buckets (rounded up to a power of
+// two, minimum 8) each spanning `width` time units. width must be positive.
+func NewCalendar[T any](width int64, buckets int) *Calendar[T] {
+	if width <= 0 {
+		panic("events: calendar bucket width must be positive")
+	}
+	n := 8
+	for n < buckets {
+		n <<= 1
+	}
+	return &Calendar[T]{
+		buckets: make([][]calEntry[T], n),
+		mask:    int64(n - 1),
+		width:   width,
+	}
+}
+
+// Len returns the number of pending events.
+func (c *Calendar[T]) Len() int { return c.wheelN + c.overflow.Len() }
+
+// bucketOf maps a timestamp to its absolute bucket number. Timestamps are
+// non-negative simulation times.
+func (c *Calendar[T]) bucketOf(at int64) int64 { return at / c.width }
+
+// Push schedules v at time at. Late pushes (a bucket the cursor has passed)
+// clamp into the cursor bucket so the entry still delivers at the next
+// PopReady whose now >= at.
+func (c *Calendar[T]) Push(at int64, v T) {
+	b := c.bucketOf(at)
+	if b < c.cur {
+		b = c.cur
+	}
+	if b-c.cur >= int64(len(c.buckets)) {
+		c.overflow.Push(at, v)
+		return
+	}
+	idx := b & c.mask
+	c.buckets[idx] = append(c.buckets[idx], calEntry[T]{at: at, val: v})
+	c.wheelN++
+	if c.nextWheelValid && at < c.nextWheelAt {
+		c.nextWheelAt = at
+	} else if !c.nextWheelValid && c.wheelN == 1 {
+		c.nextWheelAt, c.nextWheelValid = at, true
+	}
+}
+
+// NextAt returns the earliest pending timestamp, and false when empty.
+func (c *Calendar[T]) NextAt() (int64, bool) {
+	min, ok := c.wheelNextAt()
+	if oAt, oOK := c.overflow.NextAt(); oOK && (!ok || oAt < min) {
+		min, ok = oAt, true
+	}
+	return min, ok
+}
+
+func (c *Calendar[T]) wheelNextAt() (int64, bool) {
+	if c.wheelN == 0 {
+		return 0, false
+	}
+	if c.nextWheelValid {
+		return c.nextWheelAt, true
+	}
+	found := false
+	var min int64
+	for off := int64(0); off < int64(len(c.buckets)); off++ {
+		bucket := c.buckets[(c.cur+off)&c.mask]
+		if len(bucket) == 0 {
+			continue
+		}
+		for i := range bucket {
+			if !found || bucket[i].at < min {
+				min, found = bucket[i].at, true
+			}
+		}
+		break
+	}
+	if found {
+		c.nextWheelAt, c.nextWheelValid = min, true
+	}
+	return min, found
+}
+
+// PopReady delivers every event with timestamp <= now to f: whole past
+// buckets in wheel order (insertion order within each), then the boundary
+// bucket filtered in place, then any due overflow entries. now must be
+// non-decreasing across calls.
+func (c *Calendar[T]) PopReady(now int64, f func(T)) {
+	target := c.bucketOf(now)
+	if c.wheelN > 0 {
+		// Deliver whole buckets strictly below the boundary bucket. When the
+		// cursor jump exceeds the wheel span every resident entry is due, so
+		// one pass over the wheel suffices.
+		span := int64(len(c.buckets))
+		jump := target - c.cur
+		if jump > span {
+			jump = span
+		}
+		for off := int64(0); off < jump && c.wheelN > 0; off++ {
+			idx := (c.cur + off) & c.mask
+			bucket := c.buckets[idx]
+			if len(bucket) == 0 {
+				continue
+			}
+			c.wheelN -= len(bucket)
+			c.nextWheelValid = false
+			c.buckets[idx] = bucket[:0]
+			for i := range bucket {
+				f(bucket[i].val)
+				bucket[i] = calEntry[T]{}
+			}
+		}
+	}
+	if target > c.cur {
+		c.cur = target
+	}
+	// Boundary bucket: deliver entries with at <= now, keep the rest.
+	idx := c.cur & c.mask
+	if bucket := c.buckets[idx]; len(bucket) > 0 {
+		kept := bucket[:0]
+		for i := range bucket {
+			if bucket[i].at <= now {
+				c.wheelN--
+				c.nextWheelValid = false
+				f(bucket[i].val)
+			} else {
+				kept = append(kept, bucket[i])
+			}
+		}
+		for i := len(kept); i < len(bucket); i++ {
+			bucket[i] = calEntry[T]{}
+		}
+		c.buckets[idx] = kept
+	}
+	c.overflow.PopReady(now, f)
+}
+
+// Reset drops all pending events and rewinds the cursor.
+func (c *Calendar[T]) Reset() {
+	for i := range c.buckets {
+		bucket := c.buckets[i]
+		for j := range bucket {
+			bucket[j] = calEntry[T]{}
+		}
+		c.buckets[i] = bucket[:0]
+	}
+	c.cur = 0
+	c.wheelN = 0
+	c.nextWheelValid = false
+	c.overflow.Reset()
+}

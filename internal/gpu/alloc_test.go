@@ -21,26 +21,40 @@ const allocBudgetPerRun = 1500
 // spirit of telemetry's TestDisabledEmitIsAllocationFree: before the waiter
 // pools and the hoisted drain callbacks, a run this size allocated ~5x the
 // budget, dominated by per-miss outbox pointers and waiter-slice appends.
+// Both cycle engines are pinned: the fast path's bitset masks, calendar
+// queues and bulk advance must stay allocation-free per cycle, and the
+// legacy escape hatch must not regress either.
 func TestSteadyStateRunAllocations(t *testing.T) {
 	if invariant.Enabled {
 		t.Skip("eqdebug invariant checks box Checkf arguments; the allocation budget pins release builds")
 	}
-	k, err := kernels.ByName("cutcp")
-	if err != nil {
-		t.Fatal(err)
-	}
-	k.GridBlocks = 30
-	m := MustNew(config.Default(), power.Default(), nil)
-	// Warm up: first run grows the pools, wake queues and stat buffers.
-	if _, err := m.RunKernel(k, 0); err != nil {
-		t.Fatal(err)
-	}
-	n := testing.AllocsPerRun(3, func() {
-		if _, err := m.RunKernel(k, 0); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if n > allocBudgetPerRun {
-		t.Errorf("steady-state RunKernel allocates %.0f per run, budget %d", n, allocBudgetPerRun)
+	for _, tc := range []struct {
+		name        string
+		fastForward bool
+	}{
+		{"fast", true},
+		{"legacy", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k, err := kernels.ByName("cutcp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.GridBlocks = 30
+			m := MustNew(config.Default(), power.Default(), nil)
+			m.SetFastForward(tc.fastForward)
+			// Warm up: first run grows the pools, wake queues and stat buffers.
+			if _, err := m.RunKernel(k, 0); err != nil {
+				t.Fatal(err)
+			}
+			n := testing.AllocsPerRun(3, func() {
+				if _, err := m.RunKernel(k, 0); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if n > allocBudgetPerRun {
+				t.Errorf("steady-state RunKernel allocates %.0f per run, budget %d", n, allocBudgetPerRun)
+			}
+		})
 	}
 }

@@ -11,6 +11,8 @@ package sm
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"equalizer/internal/cache"
 	"equalizer/internal/clock"
@@ -195,7 +197,37 @@ type SM struct {
 	// every few cycles does not allocate).
 	outbox     MemRequest
 	outboxFull bool
-	wakeQueue  events.Queue[int]
+	// wakeQueue schedules warp wake-ups (load returns, L1 hit latency);
+	// gapQueue schedules dependency-gap expiries so the bitset scheduler can
+	// keep gapMask current without re-checking readyAt per warp per cycle.
+	// Both are calendar queues: PopReady is O(delivered), and the wake/gap
+	// handlers are commutative so within-bucket insertion order is safe.
+	wakeQueue *events.Calendar[int]
+	gapQueue  *events.Calendar[int]
+	// wakeFn/gapFn are the PopReady callbacks, allocated once in New so the
+	// per-cycle pops stay off the heap.
+	wakeFn func(int)
+	gapFn  func(int)
+
+	// Bitset scheduler state. fastIssue enables the mask-based issue path
+	// (requires MaxWarpsPerSM <= 64); masksDirty forces a recount from the
+	// per-slot state before the next fast issue — set by every mutation the
+	// incremental updates do not model (block launch, pausing, the legacy
+	// scan's mid-cycle barrier/exit processing).
+	fastIssue  bool
+	masksDirty bool
+	// validMask: valid && !finished. pausedMask: block paused. barrierMask:
+	// atBarrier. pendingMask: pendingLines > 0. gapMask: now < readyAt as of
+	// the last gapQueue pop. cur*Mask classify fetched head instructions.
+	validMask      uint64
+	pausedMask     uint64
+	barrierMask    uint64
+	pendingMask    uint64
+	gapMask        uint64
+	curALUMask     uint64
+	curMEMMask     uint64
+	curTEXMask     uint64
+	curBarExitMask uint64
 
 	// targetBlocks is the concurrency ceiling set by the running policy;
 	// resident unpaused blocks never exceed it.
@@ -221,6 +253,11 @@ type SM struct {
 	liveWarps      int
 }
 
+// wakeCalendarBuckets sizes the wheel: the common wake horizon (L1 hit
+// latency, DRAM round trips, dependency gaps) fits a few hundred SM cycles;
+// rarer far-future wakes spill to the calendar's overflow heap.
+const wakeCalendarBuckets = 256
+
 // New builds an SM with the given index.
 func New(cfg config.GPU, index int) *SM {
 	s := &SM{
@@ -232,11 +269,54 @@ func New(cfg config.GPU, index int) *SM {
 		l1Waiters:    make(map[cache.Addr][]int),
 		lsu:          make([]lsuEntry, 0, cfg.LSUQueueDepth),
 		targetBlocks: cfg.MaxBlocksPerSM,
+		wakeQueue:    events.NewCalendar[int](cfg.SMClockPS, wakeCalendarBuckets),
+		gapQueue:     events.NewCalendar[int](cfg.SMClockPS, wakeCalendarBuckets),
+		fastIssue:    cfg.MaxWarpsPerSM <= 64,
+		masksDirty:   true,
 	}
 	for i := cfg.MaxWarpsPerSM - 1; i >= 0; i-- {
 		s.freeWarpSlots = append(s.freeWarpSlots, i)
 	}
+	s.wakeFn = s.wakeWarp
+	s.gapFn = s.expireGap
 	return s
+}
+
+// SetFastIssue enables or disables the bitset issue path; disabling it (the
+// -fastforward escape hatch) restores the per-cycle linear scan verbatim.
+// The request is ignored when the hardware configuration exceeds the 64-slot
+// mask width. Call between runs, not mid-invocation.
+func (s *SM) SetFastIssue(enabled bool) {
+	s.fastIssue = enabled && s.cfg.MaxWarpsPerSM <= 64
+	s.masksDirty = true
+}
+
+// FastIssueEnabled reports whether the bitset issue path is active.
+func (s *SM) FastIssueEnabled() bool { return s.fastIssue }
+
+// wakeWarp is the wakeQueue PopReady handler: one outstanding line (or the
+// dependency stand-in pushed by an L1 hit) arrived for the warp.
+func (s *SM) wakeWarp(ws int) {
+	w := &s.warps[ws]
+	if w.valid && w.pendingLines > 0 {
+		w.pendingLines--
+		if w.pendingLines == 0 && !s.masksDirty {
+			s.pendingMask &^= 1 << uint(ws)
+		}
+	}
+}
+
+// expireGap is the gapQueue PopReady handler: a dependency gap elapsed. The
+// readyAt re-check drops entries made stale by slot reuse or a barrier
+// release rewriting readyAt (a newer entry exists in that case).
+func (s *SM) expireGap(ws int) {
+	if s.masksDirty {
+		return
+	}
+	w := &s.warps[ws]
+	if w.valid && !w.finished && clock.Time(s.nowPS) >= w.readyAt {
+		s.gapMask &^= 1 << uint(ws)
+	}
 }
 
 // Index returns the SM's position in the GPU.
@@ -299,6 +379,7 @@ func (s *SM) SetTargetBlocks(n int) {
 // rebalancePausing pauses the youngest blocks above the ceiling and unpauses
 // the oldest paused blocks below it.
 func (s *SM) rebalancePausing() {
+	s.masksDirty = true
 	// Pause from the highest slot downwards while above target.
 	for i := len(s.blocks) - 1; i >= 0 && s.activeBlocks > s.targetBlocks; i-- {
 		b := &s.blocks[i]
@@ -363,6 +444,7 @@ func (s *SM) LaunchBlock(prof *warp.Profile, globalID, wcta int) {
 	s.residentBlocks++
 	s.activeBlocks++
 	s.liveWarps += wcta
+	s.masksDirty = true
 	s.stats.BlocksLaunched++
 	s.probe.Emit(s.nowPS, telemetry.KindBlockLaunch, int16(s.index),
 		int64(globalID), int64(slot)<<16|int64(wcta))
@@ -420,10 +502,13 @@ func (s *SM) TakeOutbox() (MemRequest, bool) {
 // that texture streams rarely exert visible back-pressure.
 const TexQueueDepth = 32
 
-// Idle reports whether the SM holds no work at all.
+// Idle reports whether the SM holds no work at all. The gapQueue term is
+// provably redundant — a gap entry always belongs to an unfinished resident
+// warp, and pops before that warp can fetch its EXIT — but is kept so Idle
+// never reports true with any queue populated.
 func (s *SM) Idle() bool {
 	return s.residentBlocks == 0 && len(s.lsu) == 0 && len(s.tex) == 0 &&
-		!s.outboxFull && s.wakeQueue.Len() == 0
+		!s.outboxFull && s.wakeQueue.Len() == 0 && s.gapQueue.Len() == 0
 }
 
 // Step advances the SM by one cycle ending at time now (the current SM-domain
@@ -439,12 +524,10 @@ func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
 	}
 
 	// 1. Wake warps whose data or dependency gap arrived.
-	s.wakeQueue.PopReady(int64(now), func(ws int) {
-		w := &s.warps[ws]
-		if w.valid && w.pendingLines > 0 {
-			w.pendingLines--
-		}
-	})
+	s.wakeQueue.PopReady(int64(now), s.wakeFn)
+	if s.fastIssue {
+		s.gapQueue.PopReady(int64(now), s.gapFn)
+	}
 
 	// 2. Drain the LSU head into the L1 (one line access per cycle); the
 	// texture queue shares the L1 port on cycles the LSU leaves it idle.
@@ -452,12 +535,158 @@ func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
 		s.drainQueue(&s.tex, now, smPeriod)
 	}
 
-	// 3. Issue: classify warps, pick one ALU and one MEM candidate.
-	s.issue(now, smPeriod)
+	// 3. Issue: classify warps, pick one ALU and one MEM candidate. The
+	// bitset path handles the common cycle; it bails to the legacy linear
+	// scan for the order-dependent cases (barrier/exit heads, an installed
+	// issue filter), which leaves the masks dirty for a recount.
+	if s.fastIssue && s.filter == nil {
+		if s.masksDirty {
+			s.recomputeMasks(now)
+		}
+		if !s.issueFast(now, smPeriod) {
+			s.issue(now, smPeriod)
+		}
+	} else {
+		s.issue(now, smPeriod)
+	}
 
 	if invariant.Enabled {
 		s.verifyInvariants()
 	}
+}
+
+// recomputeMasks rebuilds every scheduler mask from the authoritative
+// per-slot state, at census time `now`. Warps whose readyAt lies in the
+// future already have a gapQueue entry (pushed when readyAt was written), so
+// the rebuilt gapMask bits will be cleared on schedule.
+func (s *SM) recomputeMasks(now clock.Time) {
+	var valid, paused, barrier, pending, gap, alu, mem, tex, barExit uint64
+	for i := range s.warps {
+		w := &s.warps[i]
+		if !w.valid || w.finished {
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		valid |= bit
+		if s.blocks[w.block].paused {
+			paused |= bit
+		}
+		if w.atBarrier {
+			barrier |= bit
+		}
+		if w.pendingLines > 0 {
+			pending |= bit
+		}
+		if now < w.readyAt {
+			gap |= bit
+		}
+		if w.hasCur {
+			switch w.cur.Kind {
+			case warp.ALU, warp.SFU:
+				alu |= bit
+			case warp.MEM:
+				mem |= bit
+			case warp.TEX:
+				tex |= bit
+			default:
+				barExit |= bit
+			}
+		}
+	}
+	s.validMask, s.pausedMask, s.barrierMask = valid, paused, barrier
+	s.pendingMask, s.gapMask = pending, gap
+	s.curALUMask, s.curMEMMask, s.curTEXMask, s.curBarExitMask = alu, mem, tex, barExit
+	s.masksDirty = false
+}
+
+// firstFromRR returns the lowest-index set bit of mask at or after the
+// round-robin origin rrALU, wrapping; -1 when mask is empty. This reproduces
+// the legacy scan's "first candidate in scan order" selection.
+func (s *SM) firstFromRR(mask uint64) int {
+	if mask == 0 {
+		return -1
+	}
+	if hi := mask >> uint(s.rrALU) << uint(s.rrALU); hi != 0 {
+		return bits.TrailingZeros64(hi)
+	}
+	return bits.TrailingZeros64(mask)
+}
+
+// fetchHeads pulls the next instruction for every ready warp without one, in
+// round-robin scan order, classifying each into the cur*Mask sets. It stops
+// and reports false at the first barrier or exit head: processing those
+// mutates mid-scan state (block-wide barrier release, block completion and
+// unpausing) that only the legacy scan models, and every warp fetched so far
+// is exactly what the legacy scan would have fetched before reaching it.
+func (s *SM) fetchHeads(toFetch uint64) bool {
+	hi := toFetch >> uint(s.rrALU) << uint(s.rrALU)
+	lo := toFetch &^ (^uint64(0) << uint(s.rrALU))
+	for _, m := range [2]uint64{hi, lo} {
+		for m != 0 {
+			ws := bits.TrailingZeros64(m)
+			m &= m - 1
+			w := &s.warps[ws]
+			w.cur = w.stream.Next()
+			w.hasCur = true
+			bit := uint64(1) << uint(ws)
+			switch w.cur.Kind {
+			case warp.ALU, warp.SFU:
+				s.curALUMask |= bit
+			case warp.MEM:
+				s.curMEMMask |= bit
+			case warp.TEX:
+				s.curTEXMask |= bit
+			default:
+				s.curBarExitMask |= bit
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// issueFast is the bitset issue path: census by popcount, candidate selection
+// by find-first-set. It reports false — leaving all per-slot mutations it
+// made consistent — when the cycle needs the legacy scan.
+func (s *SM) issueFast(now clock.Time, smPeriod clock.Time) bool {
+	active := s.validMask &^ s.pausedMask
+	ready := active &^ (s.barrierMask | s.pendingMask | s.gapMask)
+	if toFetch := ready &^ (s.curALUMask | s.curMEMMask | s.curTEXMask | s.curBarExitMask); toFetch != 0 {
+		if !s.fetchHeads(toFetch) {
+			return false
+		}
+	}
+	if ready&s.curBarExitMask != 0 {
+		return false
+	}
+
+	snap := Snapshot{Active: bits.OnesCount64(active)}
+	snap.Others = bits.OnesCount64(active & s.barrierMask)
+	snap.Waiting = snap.Active - snap.Others - bits.OnesCount64(ready)
+
+	readyALUm := ready & s.curALUMask
+	readyMEMm := ready & s.curMEMMask
+	readyTEXm := ready & s.curTEXMask
+	readyALU := bits.OnesCount64(readyALUm)
+	readyMEM := bits.OnesCount64(readyMEMm)
+	bestALU := s.firstFromRR(readyALUm)
+	bestMEM := -1
+	if len(s.lsu) < s.cfg.LSUQueueDepth {
+		bestMEM = s.firstFromRR(readyMEMm)
+	}
+	bestTEX := -1
+	ntex := bits.OnesCount64(readyTEXm)
+	if len(s.tex) < TexQueueDepth && ntex > 0 {
+		bestTEX = s.firstFromRR(readyTEXm)
+		snap.Waiting += ntex - 1
+	} else {
+		// Texture back-pressure (or no candidates): unissued ready texture
+		// warps are indistinguishable from waiting ones.
+		snap.Waiting += ntex
+	}
+
+	s.finishIssue(now, smPeriod, snap, bestALU, bestMEM, bestTEX, readyALU, readyMEM)
+	return true
 }
 
 // verifyInvariants asserts the SM conservation laws at a cycle boundary.
@@ -531,6 +760,58 @@ func (s *SM) recountInvariants() {
 		"sm %d warp-slot leak: %d valid + %d free != %d slots",
 		s.index, validWarps, len(s.freeWarpSlots), s.cfg.MaxWarpsPerSM)
 
+	// Fast-path mask conservation: clean scheduler bitsets must equal a
+	// recount from the authoritative slot state. gapMask is only checked
+	// for containment — its exact value depends on the current cycle time,
+	// and stale bits are re-validated against readyAt when they pop.
+	if s.fastIssue && !s.masksDirty {
+		var valid, paused, barrier, pending, alu, mem, tex, barExit uint64
+		for i := range s.warps {
+			w := &s.warps[i]
+			if !w.valid || w.finished {
+				continue
+			}
+			bit := uint64(1) << uint(i)
+			valid |= bit
+			if s.blocks[w.block].paused {
+				paused |= bit
+			}
+			if w.atBarrier {
+				barrier |= bit
+			}
+			if w.pendingLines > 0 {
+				pending |= bit
+			}
+			if w.hasCur {
+				switch w.cur.Kind {
+				case warp.ALU, warp.SFU:
+					alu |= bit
+				case warp.MEM:
+					mem |= bit
+				case warp.TEX:
+					tex |= bit
+				default:
+					barExit |= bit
+				}
+			}
+		}
+		invariant.Checkf(valid == s.validMask,
+			"sm %d validMask drift: cached %#x, recount %#x", s.index, s.validMask, valid)
+		invariant.Checkf(paused == s.pausedMask,
+			"sm %d pausedMask drift: cached %#x, recount %#x", s.index, s.pausedMask, paused)
+		invariant.Checkf(barrier == s.barrierMask,
+			"sm %d barrierMask drift: cached %#x, recount %#x", s.index, s.barrierMask, barrier)
+		invariant.Checkf(pending == s.pendingMask,
+			"sm %d pendingMask drift: cached %#x, recount %#x", s.index, s.pendingMask, pending)
+		invariant.Checkf(alu == s.curALUMask && mem == s.curMEMMask &&
+			tex == s.curTEXMask && barExit == s.curBarExitMask,
+			"sm %d head-class mask drift: cached alu=%#x mem=%#x tex=%#x barexit=%#x, recount %#x/%#x/%#x/%#x",
+			s.index, s.curALUMask, s.curMEMMask, s.curTEXMask, s.curBarExitMask,
+			alu, mem, tex, barExit)
+		invariant.Checkf(s.gapMask&^valid == 0,
+			"sm %d gapMask escapes valid warps: gap=%#x valid=%#x", s.index, s.gapMask, valid)
+	}
+
 	// L1 accounting: every demand access resolves to exactly one outcome.
 	// Rejected probes are excluded from Accesses by design — the warp
 	// retries, so counting them would skew hit rates.
@@ -578,6 +859,10 @@ func (s *SM) drainQueue(q *[]lsuEntry, now clock.Time, smPeriod clock.Time) bool
 }
 
 func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
+	// The linear scan's mid-cycle mutations (barrier arrival, block
+	// completion and the unpausing it triggers) are not tracked
+	// incrementally: leave the masks dirty for the next fast-path recount.
+	s.masksDirty = true
 	snap := Snapshot{}
 	n := len(s.warps)
 	bestALU, bestMEM, bestTEX := -1, -1, -1
@@ -640,6 +925,18 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		}
 	}
 
+	s.finishIssue(now, smPeriod, snap, bestALU, bestMEM, bestTEX, readyALU, readyMEM)
+}
+
+// finishIssue commits the selected candidates, updates the round-robin
+// origins, completes the census snapshot and emits telemetry — the issue tail
+// shared by the linear scan and the bitset path. Mask maintenance is skipped
+// while masksDirty (the next fast cycle recounts anyway), but gapQueue
+// entries are pushed at every readyAt write regardless, so a recount never
+// needs to reconstruct the queue.
+func (s *SM) finishIssue(now clock.Time, smPeriod clock.Time, snap Snapshot,
+	bestALU, bestMEM, bestTEX, readyALU, readyMEM int) {
+	n := len(s.warps)
 	issued := 0
 	if bestALU >= 0 {
 		w := &s.warps[bestALU]
@@ -653,6 +950,15 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		s.probe.Emit(int64(now), telemetry.KindWarpIssue, int16(s.index), int64(bestALU), pipe)
 		w.readyAt = now + clock.Time(w.cur.Gap)*smPeriod
 		w.hasCur = false
+		if s.fastIssue && w.readyAt > now {
+			s.gapQueue.Push(int64(w.readyAt), bestALU)
+			if !s.masksDirty {
+				s.gapMask |= 1 << uint(bestALU)
+			}
+		}
+		if !s.masksDirty {
+			s.curALUMask &^= 1 << uint(bestALU)
+		}
 		issued++
 		readyALU--
 		s.rrALU = (bestALU + 1) % n
@@ -669,6 +975,10 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		s.probe.Emit(int64(now), telemetry.KindWarpIssue, int16(s.index),
 			int64(bestMEM), telemetry.PipeMEM)
 		w.hasCur = false
+		if !s.masksDirty {
+			s.curMEMMask &^= 1 << uint(bestMEM)
+			s.pendingMask |= 1 << uint(bestMEM)
+		}
 		issued++
 		readyMEM--
 		s.rrMEM = (bestMEM + 1) % n
@@ -685,6 +995,10 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		s.probe.Emit(int64(now), telemetry.KindWarpIssue, int16(s.index),
 			int64(bestTEX), telemetry.PipeTEX)
 		w.hasCur = false
+		if !s.masksDirty {
+			s.curTEXMask &^= 1 << uint(bestTEX)
+			s.pendingMask |= 1 << uint(bestTEX)
+		}
 		issued++
 	}
 
@@ -698,6 +1012,79 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 		s.probe.Emit(int64(now), telemetry.KindStallCensus, int16(s.index),
 			packed, int64(issued))
 	}
+}
+
+// NextEventAt reports whether the SM is quiescent — no warp can issue, fetch
+// or touch the L1 before some future event — and, when it is, the earliest
+// absolute time (picoseconds) at which its state can next change. A cycle
+// boundary strictly before that time is a pure bookkeeping cycle: census,
+// cycle counters and telemetry, all computable in closed form by FastForward.
+func (s *SM) NextEventAt() (int64, bool) {
+	// The fast path's masks are the quiescence witness; without them (legacy
+	// mode, an installed filter, or a pending recount) every cycle must run.
+	if !s.fastIssue || s.filter != nil || s.masksDirty {
+		return 0, false
+	}
+	ready := (s.validMask &^ s.pausedMask) &^ (s.barrierMask | s.pendingMask | s.gapMask)
+	if ready != 0 {
+		return 0, false
+	}
+	// A non-empty LSU or texture queue with a free outbox re-probes the L1
+	// every cycle (even a Reject-blocked head has MSHR side effects); a full
+	// outbox gates both queues off entirely.
+	if (len(s.lsu) > 0 || len(s.tex) > 0) && !s.outboxFull {
+		return 0, false
+	}
+	next := int64(math.MaxInt64)
+	if at, ok := s.wakeQueue.NextAt(); ok && at < next {
+		next = at
+	}
+	if at, ok := s.gapQueue.NextAt(); ok && at < next {
+		next = at
+	}
+	return next, true
+}
+
+// FastForward retires n consecutive quiescent cycles in closed form. The
+// caller (the machine's fast-forward engine) guarantees NextEventAt reported
+// quiescent and that every boundary firstPS, firstPS+stridePS, ...,
+// firstPS+(n-1)*stridePS lies strictly before the reported event time, with
+// no VF switch in the span (stridePS constant). Counters and census snapshot
+// end up exactly as n Step calls would leave them. Census telemetry is NOT
+// emitted here: the legacy loop interleaves one event per SM per cycle, so
+// the machine replays that order across SMs via EmitCensus.
+//
+//eqlint:cycle-owner
+func (s *SM) FastForward(n, firstPS, stridePS int64) {
+	s.stats.Cycles += uint64(n)
+	if s.residentBlocks > 0 {
+		s.stats.ActiveCycles += uint64(n)
+	}
+	s.nowPS = firstPS + (n-1)*stridePS
+
+	// The census of a quiescent cycle: no warp issues or is pipe-ready, so
+	// every active warp is either at a barrier (Others) or waiting.
+	active := s.validMask &^ s.pausedMask
+	snap := Snapshot{Active: bits.OnesCount64(active)}
+	snap.Others = bits.OnesCount64(active & s.barrierMask)
+	snap.Waiting = snap.Active - snap.Others
+	s.snap = snap
+	if invariant.Enabled {
+		s.verifyInvariants()
+	}
+}
+
+// EmitCensus emits the current census snapshot as a stall-census event at
+// time ps, exactly as the per-cycle issue path would. The fast-forward
+// engine calls it once per SM per skipped cycle, iterating cycles outermost
+// and SMs innermost, so the event stream interleaves identically to the
+// legacy loop's.
+func (s *SM) EmitCensus(ps int64) {
+	snap := s.snap
+	packed := int64(snap.Active)<<24 | int64(snap.Waiting)<<16 |
+		int64(snap.XALU)<<8 | int64(snap.XMEM)
+	s.probe.Emit(ps, telemetry.KindStallCensus, int16(s.index),
+		packed, int64(snap.Issued))
 }
 
 func (s *SM) arriveBarrier(ws int, now clock.Time) {
@@ -715,6 +1102,9 @@ func (s *SM) arriveBarrier(ws int, now clock.Time) {
 			ow.atBarrier = false
 			ow.hasCur = false
 			ow.readyAt = now + 1
+			if s.fastIssue {
+				s.gapQueue.Push(int64(now+1), other)
+			}
 		}
 	}
 	b.barWaiting = 0
@@ -773,6 +1163,8 @@ func (s *SM) Reset(resetStats bool) {
 	s.tex = s.tex[:0]
 	s.outboxFull = false
 	s.wakeQueue.Reset()
+	s.gapQueue.Reset()
+	s.masksDirty = true
 	s.targetBlocks = s.cfg.MaxBlocksPerSM
 	s.rrALU, s.rrMEM = 0, 0
 	s.residentBlocks, s.activeBlocks, s.liveWarps = 0, 0, 0
