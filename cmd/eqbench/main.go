@@ -12,8 +12,13 @@
 // Experiments: table1 table2 table3 fig1 fig2a fig2b fig4 fig5 fig7 fig8
 // fig9 fig10 fig11a fig11b summary all, plus the extension studies
 // `ablation` (runtime-parameter sweeps), `boost` (GPU-Boost-style
-// power-headroom baseline) and `concurrent` (multi-kernel partitioning),
-// which are not part of `all`.
+// power-headroom baseline), `concurrent` (multi-kernel partitioning),
+// `engine` (cycle-engine throughput) and `service` (eqsimd serving-path
+// load benchmark: tail latency, throughput, shed rate, cache hit rate —
+// BENCH_service.json), which are not part of `all`.
+//
+// -metrics-addr serves the telemetry registry live over HTTP while the run
+// is in progress (/metrics Prometheus text, /metrics.json).
 //
 // Runs execute on a worker pool (-parallel, default GOMAXPROCS) and results
 // persist in a disk cache (-cache-dir, default .eqcache; -no-cache disables
@@ -31,6 +36,7 @@ import (
 
 	"equalizer/internal/exp"
 	"equalizer/internal/exp/runcache"
+	"equalizer/internal/service"
 	"equalizer/internal/telemetry"
 )
 
@@ -38,13 +44,16 @@ func main() {
 	var (
 		expName    = flag.String("exp", "summary", "experiment id or 'all'")
 		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
-		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost, engine)")
+		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost, engine, service)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		metricsAdr = flag.String("metrics-addr", "", "serve the telemetry registry live over HTTP at this address during the run (e.g. 127.0.0.1:9090)")
 	)
+	flag.IntVar(&serviceRequests, "service-requests", 2000, "requests per pass for -exp service")
+	flag.IntVar(&serviceClients, "service-clients", 64, "concurrent clients for -exp service")
 	flag.Parse()
 	stopProfiling, err := telemetry.StartProfiling(*cpuprofile, *memprofile)
 	if err != nil {
@@ -56,10 +65,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
 		}
 	}()
-	h, err := newHarness(*scale, *parallel, *cacheDir, *noCache)
+	servicePar = *parallel
+	reg := telemetry.NewRegistry()
+	h, err := newHarness(*scale, *parallel, *cacheDir, *noCache, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsAdr != "" {
+		ms, err := service.StartMetricsServer(*metricsAdr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "eqbench: serving live metrics on http://%s/metrics\n", ms.Addr())
+		defer func() {
+			if err := ms.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
+			}
+		}()
 	}
 	if *asJSON {
 		if err := runJSON(h, *expName, *scale); err != nil {
@@ -89,11 +113,13 @@ func main() {
 }
 
 // newHarness wires the experiment harness with the pool width and the disk
-// cache selected on the command line.
-func newHarness(scale float64, parallel int, cacheDir string, noCache bool) (*exp.Harness, error) {
+// cache selected on the command line. The registry backs -metrics-addr live
+// serving.
+func newHarness(scale float64, parallel int, cacheDir string, noCache bool, reg *telemetry.Registry) (*exp.Harness, error) {
 	opts := exp.Options{
 		GridScale:   scale,
 		Parallelism: parallel,
+		Registry:    reg,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -125,6 +151,12 @@ func run(h *exp.Harness, name string, scale float64) (string, error) {
 			return "", err
 		}
 		return renderEngine(rep), nil
+	case "service":
+		rep, err := serviceBench(scale, serviceRequests, serviceClients, servicePar)
+		if err != nil {
+			return "", err
+		}
+		return renderService(rep), nil
 	case "table1":
 		return h.Table1(), nil
 	case "table2":
@@ -235,6 +267,8 @@ func runJSON(h *exp.Harness, name string, scale float64) error {
 	switch name {
 	case "engine":
 		v, err = engineBench(scale)
+	case "service":
+		v, err = serviceBench(scale, serviceRequests, serviceClients, servicePar)
 	case "fig7":
 		v, err = h.Figure7()
 	case "fig8":

@@ -12,11 +12,14 @@
 //
 // Results persist in the same disk cache eqbench uses (-cache-dir, default
 // .eqcache): rerunning an already-simulated configuration is instant.
-// -no-cache, -v and -metrics force a live simulation (the latter two need
-// per-invocation machine state the cache does not hold).
+// -no-cache, -v, -metrics and -metrics-addr force a live simulation (they
+// need per-invocation machine state the cache does not hold). -metrics-addr
+// serves the machine counters over HTTP while the run is in progress;
+// -json emits the result as {kernel, policy, totals} for scripting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +33,18 @@ import (
 	"equalizer/internal/kernels"
 	"equalizer/internal/policy"
 	"equalizer/internal/power"
+	"equalizer/internal/service"
 	"equalizer/internal/telemetry"
 )
+
+// jsonResult is the -json output shape; Totals marshals identically to the
+// payload eqsimd serves, so `eqsim -json | jq .totals` byte-compares against
+// the service response.
+type jsonResult struct {
+	Kernel string     `json:"kernel"`
+	Policy string     `json:"policy"`
+	Totals exp.Totals `json:"totals"`
+}
 
 func main() {
 	var (
@@ -47,6 +60,8 @@ func main() {
 		metrics    = flag.String("metrics", "", "write machine counters to this file after the run")
 		set        = flag.String("set", "", "comma-separated config overrides, e.g. numsms=8,l1.sets=32,epochcycles=2048")
 		metricsFmt = flag.String("metrics-format", "prom", "metrics file format: prom | json")
+		metricsAdr = flag.String("metrics-addr", "", "serve machine counters live over HTTP at this address during the run (forces a live simulation)")
+		asJSON     = flag.Bool("json", false, "emit the result as JSON ({kernel, policy, totals})")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		fastFwd    = flag.Bool("fastforward", true, "use the fast-path cycle engine (quiescent-cycle skip + bitset scheduling); false falls back to the legacy per-cycle loop")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -95,26 +110,24 @@ func main() {
 		fatal(err)
 	}
 
-	var totalPS int64
-	var totalJ float64
-	// -v and -metrics need a live machine (per-invocation results, counter
-	// state); everything else routes through the exp harness so results are
-	// served from and stored to the shared disk cache.
+	var tot exp.Totals
+	// -v, -metrics and -metrics-addr need a live machine (per-invocation
+	// results, counter state); everything else routes through the exp harness
+	// so results are served from and stored to the shared disk cache.
 	// Config overrides also bypass the cache: its keys assume the default
 	// machine model. -fastforward=false does too: the escape hatch exists to
 	// re-run suspect results on the legacy engine, never to serve them from a
 	// cache populated by the fast path.
-	if !*verbose && *metrics == "" && !*noCache && *set == "" && *fastFwd {
+	if !*verbose && *metrics == "" && *metricsAdr == "" && !*noCache && *set == "" && *fastFwd {
 		cache, err := runcache.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
 		h := exp.New(exp.Options{Cache: cache})
-		t, err := h.Run(k, setupFromFlags(*policyName, static, sl, ml, *blocks))
+		tot, err = h.Run(k, setupFromFlags(*policyName, static, sl, ml, *blocks))
 		if err != nil {
 			fatal(err)
 		}
-		totalPS, totalJ = t.TimePS, t.EnergyJ
 		if st := h.SchedulerStats(); st.CacheHits > 0 {
 			fmt.Fprintf(os.Stderr, "eqsim: result served from cache %s\n", cache.Dir())
 		}
@@ -127,21 +140,56 @@ func main() {
 		if static {
 			m.SetLevelsImmediate(sl, ml)
 		}
-		for inv := 0; inv < k.Invocations; inv++ {
-			res, err := m.RunKernel(k, inv)
+		// The live metrics server scrapes the machine's counters between
+		// invocations; its lock keeps scrapes from racing a running kernel.
+		var ms *service.MetricsServer
+		if *metricsAdr != "" {
+			reg := telemetry.NewRegistry()
+			ms, err = service.StartMetricsServer(*metricsAdr, reg, func() { m.Collect(reg) })
 			if err != nil {
 				fatal(err)
 			}
-			totalPS += res.TimePS
-			totalJ += res.EnergyJ()
+			fmt.Fprintf(os.Stderr, "eqsim: serving live metrics on http://%s/metrics\n", ms.Addr())
+		}
+		var l1Weighted, dramWeighted float64
+		for inv := 0; inv < k.Invocations; inv++ {
+			if ms != nil {
+				ms.Lock()
+			}
+			res, err := m.RunKernel(k, inv)
+			if ms != nil {
+				ms.Unlock()
+			}
+			if err != nil {
+				fatal(err)
+			}
+			tot.TimePS += res.TimePS
+			tot.EnergyJ += res.EnergyJ()
+			tot.SMCycles += res.SMCycles
+			l1Weighted += res.L1HitRate * float64(res.SMCycles)
+			dramWeighted += res.DRAMUtil * float64(res.SMCycles)
+			for i := 0; i < 3; i++ {
+				tot.Residency.SM[i] += res.Residency.SM[i]
+				tot.Residency.Mem[i] += res.Residency.Mem[i]
+			}
+			tot.PerInvocationPS = append(tot.PerInvocationPS, res.TimePS)
 			if *verbose {
 				fmt.Printf("inv %2d: %9d cycles  %8.3f ms  %8.4f J  IPC %.3f  L1 %.2f  DRAM %.2f\n",
 					inv+1, res.SMCycles, float64(res.TimePS)/1e9, res.EnergyJ(),
 					res.IPC, res.L1HitRate, res.DRAMUtil)
 			}
 		}
+		if tot.SMCycles > 0 {
+			tot.L1Hit = l1Weighted / float64(tot.SMCycles)
+			tot.DRAMUtil = dramWeighted / float64(tot.SMCycles)
+		}
 		if *metrics != "" {
 			if err := writeMetrics(m, *metrics, *metricsFmt); err != nil {
+				fatal(err)
+			}
+		}
+		if ms != nil {
+			if err := ms.Close(); err != nil {
 				fatal(err)
 			}
 		}
@@ -153,8 +201,16 @@ func main() {
 	} else if static {
 		name = fmt.Sprintf("static(sm=%s,mem=%s,blocks=%d)", *smLevel, *memLevel, *blocks)
 	}
-	fmt.Printf("kernel %-8s policy %-24s time %10.3f ms  energy %9.4f J  mean power %6.1f W\n",
-		k.Name, name, float64(totalPS)/1e9, totalJ, totalJ/(float64(totalPS)*1e-12))
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult{Kernel: k.Name, Policy: name, Totals: tot}); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("kernel %-8s policy %-24s time %10.3f ms  energy %9.4f J  mean power %6.1f W\n",
+			k.Name, name, float64(tot.TimePS)/1e9, tot.EnergyJ, tot.EnergyJ/(float64(tot.TimePS)*1e-12))
+	}
 
 	if err := stopProfiling(); err != nil {
 		fatal(err)

@@ -6,11 +6,16 @@
 //	eqtrace -kernel spmv                          # SM 0 epoch table
 //	eqtrace -kernel mri-g-1 -sm all -format csv   # every SM, CSV
 //	eqtrace -kernel spmv -format chrome -o t.json # Chrome trace (Perfetto)
+//	eqtrace -requests dump.json -o t.json         # eqsimd request traces
 //
 // Formats: table (per-epoch counters), json, csv, and chrome — the Chrome
 // trace-event format, loadable in Perfetto (https://ui.perfetto.dev) or
 // chrome://tracing, showing kernel/epoch spans, per-SM block residency, CTA
 // pausing and VF-level transitions across all SMs.
+//
+// -requests converts a saved eqsimd /debug/requests JSON dump into a Chrome
+// trace instead of running a simulation: each request becomes a span with
+// its queue/run/encode stages nested beneath it.
 package main
 
 import (
@@ -27,18 +32,20 @@ import (
 	"equalizer/internal/gpu"
 	"equalizer/internal/kernels"
 	"equalizer/internal/power"
+	"equalizer/internal/service"
 	"equalizer/internal/telemetry"
 )
 
 // options carries the parsed command line; run is kept free of flag and
 // os.Exit machinery so tests can drive it directly.
 type options struct {
-	kernel string
-	mode   string
-	inv    int
-	format string
-	sm     string
-	events int
+	kernel   string
+	mode     string
+	inv      int
+	format   string
+	sm       string
+	events   int
+	requests string
 }
 
 func main() {
@@ -54,6 +61,8 @@ func main() {
 	flag.StringVar(&opts.format, "format", "table", "table | json | csv | chrome")
 	flag.StringVar(&opts.sm, "sm", "0", "SM index to trace, or 'all' (table/json/csv)")
 	flag.IntVar(&opts.events, "events", 1<<19, "probe-bus capacity for chrome traces")
+	flag.StringVar(&opts.requests, "requests", "",
+		"convert this eqsimd /debug/requests JSON dump to a Chrome trace instead of simulating")
 	flag.Parse()
 
 	stop, err := telemetry.StartProfiling(*cpuprofile, *memprofile)
@@ -84,6 +93,9 @@ func fatal(err error) {
 
 // run executes one invocation and writes the trace in the requested format.
 func run(opts options, w io.Writer) error {
+	if opts.requests != "" {
+		return convertRequests(opts.requests, w)
+	}
 	k, err := kernels.ByName(opts.kernel)
 	if err != nil {
 		return err
@@ -142,6 +154,24 @@ func run(opts options, w io.Writer) error {
 		})
 	}
 	return nil
+}
+
+// convertRequests renders a saved eqsimd /debug/requests dump (a JSON array
+// of request traces) as a Chrome trace-event document.
+func convertRequests(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var traces []service.RequestTrace
+	if err := json.Unmarshal(data, &traces); err != nil {
+		return fmt.Errorf("%s: not a /debug/requests dump: %w", path, err)
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("%s: no request traces", path)
+	}
+	spans, opts := service.TracesToChromeSpans(traces)
+	return telemetry.WriteChromeSpans(w, spans, opts)
 }
 
 // selectSMs resolves the -sm flag to a list of SM indices.

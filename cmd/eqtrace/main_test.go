@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"equalizer/internal/service"
 )
 
 func TestRunRejectsBadMode(t *testing.T) {
@@ -151,5 +155,69 @@ func TestChromeTraceCoversAllSMs(t *testing.T) {
 	}
 	if !sawVF {
 		t.Error("no VF-level counter events")
+	}
+}
+
+// TestConvertRequests round-trips an eqsimd /debug/requests dump through the
+// -requests converter and checks the Chrome document structure.
+func TestConvertRequests(t *testing.T) {
+	traces := []service.RequestTrace{
+		{
+			ID: "req-1", Method: "POST", Path: "/v1/run",
+			Kernel: "cutcp", Policy: "baseline", Cells: 1,
+			StartUnixNano: 1_000_000_000, DurNS: 25_000_000, Status: 200, Source: "sim",
+			Stages: []service.StageTiming{
+				{Stage: "queue", StartNS: 0, DurNS: 1_000_000},
+				{Stage: "run", StartNS: 1_000_000, DurNS: 23_000_000},
+				{Stage: "encode", StartNS: 24_000_000, DurNS: 500_000},
+			},
+		},
+		{
+			ID: "req-2", Method: "POST", Path: "/v1/run",
+			Kernel: "cutcp", Policy: "baseline", Cells: 1,
+			StartUnixNano: 1_030_000_000, DurNS: 2_000_000, Status: 200, Source: "memo",
+		},
+	}
+	dump, err := json.Marshal(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "requests.json")
+	if err := os.WriteFile(path, dump, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(options{requests: path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"process_name", "POST /v1/run", "queue", "run", "encode"} {
+		if !names[want] {
+			t.Errorf("missing event %q in %v", want, names)
+		}
+	}
+
+	if err := run(options{requests: filepath.Join(t.TempDir(), "missing.json")}, &buf); err == nil {
+		t.Error("missing dump file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{requests: bad}, &buf); err == nil {
+		t.Error("malformed dump: want error")
 	}
 }

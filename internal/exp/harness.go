@@ -6,9 +6,11 @@
 package exp
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +50,14 @@ type Options struct {
 	// Logf receives scheduler diagnostics such as block-sweep cutoffs;
 	// nil discards them.
 	Logf func(format string, args ...interface{})
+	// Now is an injected monotonic clock (nanoseconds). When set, the
+	// harness records per-stage latency histograms (exp_stage_seconds:
+	// dedup wait, cache lookup, simulation) into the registry. Simulator
+	// results never depend on it — it only feeds telemetry — which is why
+	// it is injected rather than read from the wall clock: internal/exp is
+	// under the nodeterminism analyzer's wall-clock ban, and tests can pass
+	// a fake. Nil disables stage timing.
+	Now func() int64
 }
 
 // Harness runs experiments. It memoises (kernel, configuration) results
@@ -63,6 +73,7 @@ type Harness struct {
 	sem    chan struct{}
 	cache  *runcache.Cache
 	logf   func(format string, args ...interface{})
+	now    func() int64
 
 	mu   sync.Mutex
 	memo map[runKey]*memoEntry
@@ -72,13 +83,17 @@ type Harness struct {
 	runs, sims, memoHits                           *telemetry.Counter
 	cacheHits, cacheMisses, cacheStores, cacheErrs *telemetry.Counter
 	sweepCutoffs                                   *telemetry.Counter
+	canceled                                       *telemetry.Counter
+	stageDedup, stageCache, stageSim               *telemetry.Histogram
 }
 
-// memoEntry is one singleflight cell: the first Run for a key computes the
-// result inside once; concurrent requesters block on once and then read the
-// shared result.
+// memoEntry is one singleflight cell: the first requester for a key becomes
+// the owner, computes the result, and closes done; concurrent requesters
+// block on done (or their own context) and then read the shared result. An
+// owner whose context is canceled removes the entry before closing done, so
+// a later request retries instead of inheriting the cancellation forever.
 type memoEntry struct {
-	once sync.Once
+	done chan struct{}
 	t    Totals
 	err  error
 }
@@ -122,7 +137,35 @@ func New(opts Options) *Harness {
 	h.cacheStores = reg.Counter("exp_cache_stores_total", "results written to the disk cache", nil)
 	h.cacheErrs = reg.Counter("exp_cache_errors_total", "corrupt or unwritable cache entries", nil)
 	h.sweepCutoffs = reg.Counter("exp_sweep_cutoffs_total", "block sweeps stopped early by monotone-tail detection", nil)
+	h.canceled = reg.Counter("exp_runs_canceled_total", "runs abandoned by context cancellation before completing", nil)
+	h.now = opts.Now
+	if h.now != nil {
+		bounds := []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+		h.stageDedup = reg.Histogram("exp_stage_seconds", "per-stage run latency",
+			bounds, telemetry.Labels{"stage": "dedup"})
+		h.stageCache = reg.Histogram("exp_stage_seconds", "per-stage run latency",
+			bounds, telemetry.Labels{"stage": "cache_lookup"})
+		h.stageSim = reg.Histogram("exp_stage_seconds", "per-stage run latency",
+			bounds, telemetry.Labels{"stage": "simulate"})
+	}
 	return h
+}
+
+// observeStage records one stage duration (start..end in injected-clock
+// nanoseconds) when stage timing is enabled.
+func (h *Harness) observeStage(hist *telemetry.Histogram, startNS int64) {
+	if h.now == nil || hist == nil {
+		return
+	}
+	hist.Observe(float64(h.now()-startNS) / 1e9)
+}
+
+// clock returns the injected clock reading, or 0 when timing is disabled.
+func (h *Harness) clock() int64 {
+	if h.now == nil {
+		return 0
+	}
+	return h.now()
 }
 
 // Parallelism returns the effective worker-pool width.
@@ -138,6 +181,7 @@ type SchedulerStats struct {
 	CacheStores uint64 `json:"cache_stores"`
 	CacheErrors uint64 `json:"cache_errors"`
 	SweepCutoff uint64 `json:"sweep_cutoffs"`
+	Canceled    uint64 `json:"canceled"`
 }
 
 // SchedulerStats returns the current counter values.
@@ -151,6 +195,7 @@ func (h *Harness) SchedulerStats() SchedulerStats {
 		CacheStores: h.cacheStores.Value(),
 		CacheErrors: h.cacheErrs.Value(),
 		SweepCutoff: h.sweepCutoffs.Value(),
+		Canceled:    h.canceled.Value(),
 	}
 }
 
@@ -297,65 +342,126 @@ func (h *Harness) scaled(k kernels.Kernel) kernels.Kernel {
 	return k.WithGridScale(h.scale, h.gpuCfg.NumSMs)
 }
 
+// RunSource says where a RunCtx result came from.
+type RunSource string
+
+const (
+	// SourceNone marks a request that produced no result (error or
+	// cancellation).
+	SourceNone RunSource = ""
+	// SourceMemo marks a result shared through the in-process
+	// singleflight memo.
+	SourceMemo RunSource = "memo"
+	// SourceCache marks a result loaded from the persistent disk cache.
+	SourceCache RunSource = "cache"
+	// SourceSim marks a freshly simulated result.
+	SourceSim RunSource = "sim"
+)
+
 // Run returns the totals of a kernel's full launch sequence under a setup.
 // The first request for a key simulates (or loads the persistent cache);
 // concurrent requesters for the same key block until that result is ready
 // and then share it. Safe for concurrent use.
 func (h *Harness) Run(k kernels.Kernel, s Setup) (Totals, error) {
+	t, _, err := h.RunCtx(context.Background(), k, s)
+	return t, err
+}
+
+// isCancellation reports whether err is (or wraps) a context cancellation.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunCtx is Run with cancellation: a requester whose context ends while it
+// is waiting — on the singleflight memo or between simulated invocations —
+// stops consuming a simulation worker instead of running to completion.
+// Cancellation never poisons the memo: an owner that aborts removes its
+// entry so the next request for the key recomputes, and a waiter that
+// aborts leaves the owner's computation untouched for everyone else.
+func (h *Harness) RunCtx(ctx context.Context, k kernels.Kernel, s Setup) (Totals, RunSource, error) {
 	h.runs.Inc()
 	key := runKey{kernel: k.Name, setup: s}
-	h.mu.Lock()
-	e, ok := h.memo[key]
-	if !ok {
-		e = new(memoEntry)
+	for {
+		if err := ctx.Err(); err != nil {
+			h.canceled.Inc()
+			return Totals{}, SourceNone, fmt.Errorf("exp: run %s/%s: %w", k.Name, s.Policy, err)
+		}
+		h.mu.Lock()
+		if e, ok := h.memo[key]; ok {
+			h.mu.Unlock()
+			wait := h.clock()
+			select {
+			case <-ctx.Done():
+				h.canceled.Inc()
+				return Totals{}, SourceNone, fmt.Errorf("exp: run %s/%s: %w", k.Name, s.Policy, ctx.Err())
+			case <-e.done:
+			}
+			if e.err != nil && isCancellation(e.err) {
+				// The owner abandoned the computation and removed the
+				// entry; start over with our own context.
+				continue
+			}
+			h.observeStage(h.stageDedup, wait)
+			h.memoHits.Inc()
+			return e.t, SourceMemo, e.err
+		}
+		e := &memoEntry{done: make(chan struct{})}
 		h.memo[key] = e
+		h.mu.Unlock()
+		var src RunSource
+		e.t, src, e.err = h.loadOrSimulate(ctx, k, s)
+		if e.err != nil && isCancellation(e.err) {
+			h.canceled.Inc()
+			h.mu.Lock()
+			delete(h.memo, key)
+			h.mu.Unlock()
+		}
+		close(e.done)
+		return e.t, src, e.err
 	}
-	h.mu.Unlock()
-	first := false
-	e.once.Do(func() {
-		first = true
-		e.t, e.err = h.loadOrSimulate(k, s)
-	})
-	if !first {
-		h.memoHits.Inc()
-	}
-	return e.t, e.err
 }
 
 // loadOrSimulate consults the persistent cache before paying for a
 // simulation. A corrupt entry is counted, already removed by the cache, and
 // healed by re-simulating — never a failure.
-func (h *Harness) loadOrSimulate(k kernels.Kernel, s Setup) (Totals, error) {
+func (h *Harness) loadOrSimulate(ctx context.Context, k kernels.Kernel, s Setup) (Totals, RunSource, error) {
 	if h.cache == nil {
-		return h.simulate(k, s)
+		t, err := h.simulate(ctx, k, s)
+		return t, SourceSim, err
 	}
 	key := h.cacheKey(k.Name, s)
 	var t Totals
+	lookup := h.clock()
 	ok, err := h.cache.Load(key, &t)
+	h.observeStage(h.stageCache, lookup)
 	if ok {
 		h.cacheHits.Inc()
-		return t, nil
+		return t, SourceCache, nil
 	}
 	if err != nil {
 		h.cacheErrs.Inc()
 	} else {
 		h.cacheMisses.Inc()
 	}
-	t, err = h.simulate(k, s)
+	t, err = h.simulate(ctx, k, s)
 	if err != nil {
-		return Totals{}, err
+		return Totals{}, SourceNone, err
 	}
 	if serr := h.cache.Store(key, t); serr != nil {
 		h.cacheErrs.Inc()
 	} else {
 		h.cacheStores.Inc()
 	}
-	return t, nil
+	return t, SourceSim, nil
 }
 
-// simulate runs the kernel's full launch sequence on a fresh machine.
-func (h *Harness) simulate(k kernels.Kernel, s Setup) (Totals, error) {
+// simulate runs the kernel's full launch sequence on a fresh machine. The
+// context is checked between invocations: a canceled request stops at the
+// next invocation boundary rather than finishing the whole sequence.
+func (h *Harness) simulate(ctx context.Context, k kernels.Kernel, s Setup) (Totals, error) {
 	h.sims.Inc()
+	simStart := h.clock()
+	defer func() { h.observeStage(h.stageSim, simStart) }()
 	kk := h.scaled(k)
 	m, err := gpu.New(h.gpuCfg, h.pwrCfg, h.buildPolicy(s))
 	if err != nil {
@@ -365,6 +471,9 @@ func (h *Harness) simulate(k kernels.Kernel, s Setup) (Totals, error) {
 	var t Totals
 	var l1Weighted, dramWeighted float64
 	for inv := 0; inv < kk.Invocations; inv++ {
+		if err := ctx.Err(); err != nil {
+			return Totals{}, fmt.Errorf("exp: simulate %s/%s invocation %d: %w", k.Name, s.Policy, inv, err)
+		}
 		res, err := m.RunKernel(kk, inv)
 		if err != nil {
 			return Totals{}, err

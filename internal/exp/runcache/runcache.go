@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // Cache is a directory of JSON-encoded results, keyed by caller-supplied
@@ -29,7 +30,15 @@ type Cache struct {
 	dir string
 }
 
+// staleTmpAge is how old an orphaned temp file must be before Open sweeps
+// it. Young temp files may belong to a live writer in another process; after
+// an hour they can only be litter from a crashed or killed run.
+const staleTmpAge = time.Hour
+
 // Open returns a cache rooted at dir, creating the directory if needed.
+// Orphaned write-temporaries older than an hour — left behind by crashed
+// writers — are swept so the directory does not accumulate litter across
+// service restarts.
 func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runcache: empty cache directory")
@@ -37,7 +46,40 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runcache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir}
+	if err := c.sweepStaleTmp(time.Now().Add(-staleTmpAge)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// sweepStaleTmp removes .tmp-* files last modified before cutoff. Races with
+// concurrent processes are benign: a temp file can only disappear (renamed
+// into place or swept by another Open), so "already gone" is success.
+func (c *Cache) sweepStaleTmp(cutoff time.Time) error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("runcache: sweep %s: %w", c.dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("runcache: sweep %s: %w", e.Name(), err)
+		}
+		if info.ModTime().After(cutoff) {
+			continue
+		}
+		if err := removeIfPresent(filepath.Join(c.dir, e.Name())); err != nil {
+			return fmt.Errorf("runcache: sweep %s: %w", e.Name(), err)
+		}
+	}
+	return nil
 }
 
 // Dir returns the cache's root directory.

@@ -1,10 +1,14 @@
 package runcache
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 type payload struct {
@@ -109,5 +113,172 @@ func TestSanitizedKeys(t *testing.T) {
 	p := c.Path("../../escape")
 	if strings.Contains(p, "..") || filepath.Dir(p) != c.Dir() {
 		t.Fatalf("key escaped the cache dir: %s", p)
+	}
+}
+
+// TestConcurrentSameKeyWriters models several eqsimd processes sharing one
+// cache directory and racing to store the same key. Atomic temp+rename must
+// guarantee every subsequent Load sees one complete value, never a blend or
+// a truncation.
+func TestConcurrentSameKeyWriters(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		writers = 8
+		rounds  = 25
+	)
+	// Values carry a filler block plus a checksum over it, so a torn or
+	// interleaved write is detectable, not just unlikely.
+	type sealed struct {
+		Writer int
+		Filler []int64
+		Sum    int64
+	}
+	mk := func(w int) sealed {
+		s := sealed{Writer: w, Filler: make([]int64, 512)}
+		for i := range s.Filler {
+			s.Filler[i] = int64(w*1_000_003 + i)
+			s.Sum += s.Filler[i]
+		}
+		return s
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer has its own Cache handle, as separate processes
+			// would.
+			c, err := Open(dir)
+			if err != nil {
+				errs <- err
+				return
+			}
+			val := mk(w)
+			for r := 0; r < rounds; r++ {
+				if err := c.Store("contended", val); err != nil {
+					errs <- err
+					return
+				}
+				var got sealed
+				ok, err := c.Load("contended", &got)
+				if err != nil || !ok {
+					errs <- fmt.Errorf("writer %d round %d: Load = %v, %v", w, r, ok, err)
+					return
+				}
+				var sum int64
+				for _, v := range got.Filler {
+					sum += v
+				}
+				if sum != got.Sum || len(got.Filler) != 512 {
+					errs <- fmt.Errorf("writer %d round %d: torn value from writer %d (sum %d != %d)",
+						w, r, got.Writer, sum, got.Sum)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n, err := c0Len(t, dir); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want exactly 1 entry", n, err)
+	}
+}
+
+func c0Len(t *testing.T, dir string) (int, error) {
+	t.Helper()
+	c, err := Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	return c.Len()
+}
+
+// TestPartialFileHealing writes a truncated entry directly (as a crashed
+// non-atomic writer or disk fault would) and checks the service access
+// pattern: the first Load reports corruption and removes the file, the next
+// Store+Load round-trips cleanly.
+func TestPartialFileHealing(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := json.Marshal(payload{Name: "cutcp", TimePS: 99, Vals: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", full[:len(full)/2]},
+		{"empty", nil},
+		{"garbage", []byte("\x00\xff not json")},
+	} {
+		key := "broken-" + tc.name
+		if err := os.WriteFile(c.Path(key), tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out payload
+		ok, err := c.Load(key, &out)
+		if ok || err == nil {
+			t.Fatalf("%s: Load = %v, %v; want corrupt-entry error", tc.name, ok, err)
+		}
+		if _, statErr := os.Stat(c.Path(key)); !os.IsNotExist(statErr) {
+			t.Fatalf("%s: corrupt file not removed: %v", tc.name, statErr)
+		}
+		// Healed: a clean miss now, and Store repopulates.
+		if ok, err := c.Load(key, &out); ok || err != nil {
+			t.Fatalf("%s: after removal Load = %v, %v; want clean miss", tc.name, ok, err)
+		}
+		if err := c.Store(key, payload{Name: "healed"}); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := c.Load(key, &out); !ok || err != nil || out.Name != "healed" {
+			t.Fatalf("%s: after heal Load = %v, %v, %+v", tc.name, ok, err, out)
+		}
+	}
+}
+
+// TestOpenSweepsStaleTmp ages an orphaned write-temporary past the sweep
+// horizon and checks Open removes it while leaving young temps and real
+// entries alone.
+func TestOpenSweepsStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("keep", payload{Name: "keep"}); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".tmp-stale123")
+	young := filepath.Join(dir, ".tmp-young456")
+	for _, p := range []string{stale, young} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTmpAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp survived Open: %v", err)
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Errorf("young temp swept: %v", err)
+	}
+	var out payload
+	if ok, err := c.Load("keep", &out); !ok || err != nil || out.Name != "keep" {
+		t.Errorf("real entry damaged by sweep: %v, %v, %+v", ok, err, out)
 	}
 }

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/exp"
+	"equalizer/internal/kernels"
+)
+
+// RunSpec is the wire form of one run cell: a kernel name plus the policy
+// vocabulary of eqsim (baseline | static | blocks | dynCTA | ccws |
+// equalizer-energy | equalizer-perf) and optional static VF levels / block
+// pin. Zero values mean the baseline at nominal frequency.
+type RunSpec struct {
+	Kernel string `json:"kernel"`
+	Policy string `json:"policy,omitempty"`
+	SM     string `json:"sm,omitempty"`
+	Mem    string `json:"mem,omitempty"`
+	Blocks int    `json:"blocks,omitempty"`
+}
+
+// SweepSpec names a batch of run cells: the cross product of Kernels ×
+// Setups (each setup's kernel field is ignored) plus any explicit Runs.
+type SweepSpec struct {
+	Kernels []string  `json:"kernels,omitempty"`
+	Setups  []RunSpec `json:"setups,omitempty"`
+	Runs    []RunSpec `json:"runs,omitempty"`
+}
+
+// RunResult is the wire form of one completed run cell. Totals is the exact
+// exp.Totals the harness produced, so its JSON encoding is byte-identical
+// to a direct eqsim -json run of the same configuration.
+type RunResult struct {
+	Kernel string     `json:"kernel"`
+	Setup  exp.Setup  `json:"setup"`
+	Source string     `json:"source"`
+	Totals exp.Totals `json:"totals"`
+}
+
+// RunResponse answers POST /v1/run.
+type RunResponse struct {
+	RequestID string `json:"request_id"`
+	RunResult
+}
+
+// SweepResponse answers POST /v1/sweep, cells in submission order.
+type SweepResponse struct {
+	RequestID string      `json:"request_id"`
+	Results   []RunResult `json:"results"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	RequestID string `json:"request_id"`
+	Error     string `json:"error"`
+}
+
+// KernelInfo is one row of GET /v1/kernels.
+type KernelInfo struct {
+	Name        string `json:"name"`
+	App         string `json:"app"`
+	Category    string `json:"category"`
+	Invocations int    `json:"invocations"`
+}
+
+// cell is one resolved unit of work.
+type cell struct {
+	kernel kernels.Kernel
+	setup  exp.Setup
+}
+
+// parseVFLevel maps the wire VF-level names; empty means nominal.
+func parseVFLevel(s string) (config.VFLevel, error) {
+	switch strings.ToLower(s) {
+	case "", "normal":
+		return config.VFNormal, nil
+	case "low":
+		return config.VFLow, nil
+	case "high":
+		return config.VFHigh, nil
+	default:
+		return 0, fmt.Errorf("unknown VF level %q (want low, normal or high)", s)
+	}
+}
+
+// resolve maps a RunSpec onto the harness vocabulary, validating the kernel
+// and policy names.
+func (r RunSpec) resolve() (cell, error) {
+	k, err := kernels.ByName(r.Kernel)
+	if err != nil {
+		return cell{}, err
+	}
+	sl, err := parseVFLevel(r.SM)
+	if err != nil {
+		return cell{}, err
+	}
+	ml, err := parseVFLevel(r.Mem)
+	if err != nil {
+		return cell{}, err
+	}
+	var setup exp.Setup
+	switch strings.ToLower(r.Policy) {
+	case "", "baseline":
+		setup = exp.Setup{Policy: "baseline", SM: sl, Mem: ml}
+	case "static", "blocks":
+		if r.Blocks > 0 {
+			setup = exp.Setup{Policy: "blocks", SM: sl, Mem: ml, Blocks: r.Blocks}
+		} else {
+			setup = exp.StaticVF(sl, ml)
+		}
+	case "dyncta":
+		setup = exp.Setup{Policy: "dynCTA", SM: config.VFNormal, Mem: config.VFNormal}
+	case "ccws":
+		setup = exp.Setup{Policy: "ccws", SM: config.VFNormal, Mem: config.VFNormal}
+	case "equalizer-energy":
+		setup = exp.EqualizerSetup(core.EnergyMode)
+	case "equalizer-perf", "equalizer-performance":
+		setup = exp.EqualizerSetup(core.PerformanceMode)
+	default:
+		return cell{}, fmt.Errorf("unknown policy %q", r.Policy)
+	}
+	return cell{kernel: k, setup: setup}, nil
+}
+
+// cells expands a sweep into its resolved run cells, in submission order.
+func (sw SweepSpec) cells() ([]cell, error) {
+	var out []cell
+	for _, kn := range sw.Kernels {
+		if len(sw.Setups) == 0 {
+			c, err := (RunSpec{Kernel: kn}).resolve()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+			continue
+		}
+		for _, sp := range sw.Setups {
+			sp.Kernel = kn
+			c, err := sp.resolve()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+	}
+	for _, sp := range sw.Runs {
+		c, err := sp.resolve()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep: need kernels, setups or runs")
+	}
+	return out, nil
+}
+
+// Kernels lists the available kernels in presentation order.
+func Kernels() []KernelInfo {
+	var out []KernelInfo
+	for _, k := range kernels.All() {
+		out = append(out, KernelInfo{
+			Name: k.Name, App: k.App, Category: k.Category.String(), Invocations: k.Invocations,
+		})
+	}
+	return out
+}

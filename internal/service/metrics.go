@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"equalizer/internal/telemetry"
+)
+
+// MetricsServer serves a telemetry registry live over HTTP while a CLI run
+// is in progress — the shared backend of the -metrics-addr flag on eqsim and
+// eqbench (the full service has its own richer surface). Endpoints:
+// /metrics (Prometheus text), /metrics.json, /healthz.
+type MetricsServer struct {
+	srv *http.Server
+	lis net.Listener
+
+	// mu serialises scrapes against the collect hook so a collector that
+	// snapshots non-atomic simulator state (eqsim's live machine) can
+	// share the same lock with the simulation loop.
+	mu      sync.Mutex
+	reg     *telemetry.Registry
+	collect func()
+}
+
+// StartMetricsServer listens on addr and serves reg until Close. collect, if
+// non-nil, runs under the server's lock before every scrape — use it to
+// snapshot counters that are not already live in the registry, and share the
+// lock via Lock/Unlock when the snapshot races a running simulation.
+func StartMetricsServer(addr string, reg *telemetry.Registry, collect func()) (*MetricsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics server: %w", err)
+	}
+	m := &MetricsServer{lis: lis, reg: reg, collect: collect}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.collect != nil {
+			m.collect()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape; client disconnects are not actionable
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.collect != nil {
+			m.collect()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		m.reg.WriteJSON(w) //nolint:errcheck // best-effort scrape
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"}) //nolint:errcheck // best-effort
+	})
+	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go m.srv.Serve(lis) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	return m, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.lis.Addr().String() }
+
+// Lock takes the scrape lock; a CLI whose collect hook reads non-atomic
+// simulator state holds this around each simulation step.
+func (m *MetricsServer) Lock() { m.mu.Lock() }
+
+// Unlock releases the scrape lock.
+func (m *MetricsServer) Unlock() { m.mu.Unlock() }
+
+// Close stops serving, waiting briefly for in-flight scrapes.
+func (m *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.srv.Shutdown(ctx); err != nil {
+		return m.srv.Close()
+	}
+	return nil
+}

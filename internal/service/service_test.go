@@ -1,0 +1,465 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"equalizer/internal/exp"
+	"equalizer/internal/kernels"
+)
+
+// newTestService builds a service on a tiny grid scale with a temp cache.
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.GridScale == 0 {
+		cfg.GridScale = 0.05
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+// TestRunMatchesDirectByteIdentical: the service's totals JSON for a run is
+// byte-identical to a direct harness run of the same configuration, and a
+// repeat request is served from the memo without simulating again.
+func TestRunMatchesDirectByteIdentical(t *testing.T) {
+	s, srv := newTestService(t, Config{CacheDir: t.TempDir()})
+
+	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("missing X-Request-ID header")
+	}
+	var rr RunResponse
+	decodeBody(t, resp, &rr)
+	if rr.Source != string(exp.SourceSim) {
+		t.Errorf("source = %q, want sim", rr.Source)
+	}
+
+	// Direct run on an independent harness at the same scale.
+	direct := exp.New(exp.Options{GridScale: 0.05})
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Run(k, exp.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(rr.Totals)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("service totals differ from direct run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	// Warm repeat: no new simulation.
+	resp2 := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+	var rr2 RunResponse
+	decodeBody(t, resp2, &rr2)
+	if rr2.Source != string(exp.SourceMemo) {
+		t.Errorf("warm source = %q, want memo", rr2.Source)
+	}
+	if st := s.Stats(); st.Simulated != 1 {
+		t.Errorf("simulated = %d after warm repeat, want 1", st.Simulated)
+	}
+	got2, _ := json.Marshal(rr2.Totals)
+	if !bytes.Equal(got2, wantJSON) {
+		t.Error("warm repeat totals differ from cold run")
+	}
+}
+
+// TestWarmCacheServiceDoesZeroSimulations: a fresh service instance sharing
+// the first one's cache directory answers every request from disk.
+func TestWarmCacheServiceDoesZeroSimulations(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestService(t, Config{CacheDir: dir})
+	specs := []RunSpec{
+		{Kernel: "cutcp"},
+		{Kernel: "cutcp", Policy: "static", SM: "high", Mem: "low"},
+	}
+	for _, sp := range specs {
+		resp := postJSON(t, srv.URL+"/v1/run", sp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold run status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	warm, warmSrv := newTestService(t, Config{CacheDir: dir})
+	for _, sp := range specs {
+		resp := postJSON(t, warmSrv.URL+"/v1/run", sp)
+		var rr RunResponse
+		decodeBody(t, resp, &rr)
+		if rr.Source != string(exp.SourceCache) {
+			t.Errorf("warm source = %q, want cache", rr.Source)
+		}
+	}
+	if st := warm.Stats(); st.Simulated != 0 {
+		t.Errorf("warm service simulated %d runs, want 0", st.Simulated)
+	}
+	if st := warm.Stats(); st.CacheHits != uint64(len(specs)) {
+		t.Errorf("warm cache hits = %d, want %d", st.CacheHits, len(specs))
+	}
+}
+
+// blockingService swaps the run function for one that parks until released.
+func blockingService(t *testing.T, cfg Config) (*Service, *httptest.Server, chan struct{}) {
+	t.Helper()
+	s, srv := newTestService(t, cfg)
+	release := make(chan struct{})
+	s.run = func(ctx context.Context, k kernels.Kernel, setup exp.Setup) (exp.Totals, exp.RunSource, error) {
+		select {
+		case <-release:
+			return exp.Totals{TimePS: 42}, exp.SourceSim, nil
+		case <-ctx.Done():
+			return exp.Totals{}, exp.SourceNone, ctx.Err()
+		}
+	}
+	return s, srv, release
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionControlShedsWith429: with one worker and no queue slack, a
+// second concurrent request is shed with 429 + Retry-After and the shed
+// counter increments; capacity frees once the first request finishes.
+func TestAdmissionControlShedsWith429(t *testing.T) {
+	s, srv, release := blockingService(t, Config{Parallelism: 1, QueueDepth: -1})
+
+	first := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	waitFor(t, "first request admitted", func() bool { return s.queued.Load() == 1 })
+
+	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "lbm"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	var er ErrorResponse
+	decodeBody(t, resp, &er)
+	if er.Error == "" || er.RequestID == "" {
+		t.Errorf("error body incomplete: %+v", er)
+	}
+	if got := s.shed.Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	// Shedding must not poison readiness.
+	if !s.Ready() {
+		t.Error("service not ready after shed")
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("first request status = %d, want 200", code)
+	}
+	// Capacity is back: a new request succeeds.
+	resp = postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-release status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestGracefulDrain: draining flips /readyz to 503, refuses new work with
+// 503 + Retry-After, completes in-flight runs, and Drain returns once they
+// finish.
+func TestGracefulDrain(t *testing.T) {
+	s, srv, release := blockingService(t, Config{Parallelism: 2})
+
+	if resp, err := http.Get(srv.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain readyz = %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	first := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	waitFor(t, "in-flight request", func() bool { return s.queued.Load() == 1 })
+
+	s.StartDrain()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "lbm"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining run status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining refusal missing Retry-After")
+	}
+	resp.Body.Close()
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned before in-flight work finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("in-flight request completed with %d, want 200", code)
+	}
+}
+
+// TestSweepCrossProduct: a sweep expands kernels×setups in submission order
+// and runs cells concurrently through the worker pool.
+func TestSweepCrossProduct(t *testing.T) {
+	_, srv := newTestService(t, Config{Parallelism: 4})
+	resp := postJSON(t, srv.URL+"/v1/sweep", SweepSpec{
+		Kernels: []string{"cutcp"},
+		Setups: []RunSpec{
+			{},
+			{Policy: "static", SM: "high"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	var sr SweepResponse
+	decodeBody(t, resp, &sr)
+	if len(sr.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(sr.Results))
+	}
+	if sr.Results[0].Setup.Policy != "baseline" || sr.Results[1].Setup.SM != 2 {
+		t.Errorf("unexpected cell order: %+v", sr.Results)
+	}
+	for _, r := range sr.Results {
+		if r.Totals.TimePS <= 0 {
+			t.Errorf("%s/%s: TimePS = %d, want > 0", r.Kernel, r.Setup.Policy, r.Totals.TimePS)
+		}
+	}
+}
+
+// TestRequestTracesAndChromeExport: completed requests land in the ring
+// buffer with stages and request IDs; the chrome form is a valid trace doc.
+func TestRequestTracesAndChromeExport(t *testing.T) {
+	_, srv := newTestService(t, Config{})
+	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+	resp.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []RequestTrace
+	decodeBody(t, resp, &traces)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID == "" || tr.Status != 200 || tr.Kernel != "cutcp" {
+		t.Errorf("incomplete trace: %+v", tr)
+	}
+	stages := map[string]bool{}
+	for _, st := range tr.Stages {
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{"queue", "run", "encode"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, tr.Stages)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/requests?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	decodeBody(t, resp, &doc)
+	if len(doc.TraceEvents) < 3 { // process meta + request span + stages
+		t.Errorf("chrome export has %d events, want >= 3", len(doc.TraceEvents))
+	}
+}
+
+// TestMetricsEndpoints: the live registry serves both formats with the key
+// service and scheduler series present.
+func TestMetricsEndpoints(t *testing.T) {
+	_, srv := newTestService(t, Config{})
+	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+	resp.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"service_requests_total", "service_request_seconds", "service_stage_seconds",
+		"service_queue_depth", "service_inflight_runs", "service_ready",
+		"exp_runs_total", "exp_runs_simulated_total", "exp_stage_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var families []map[string]any
+	decodeBody(t, resp, &families)
+	if len(families) == 0 {
+		t.Error("/metrics.json returned no families")
+	}
+
+	for _, path := range []string{"/healthz", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %v, %v", path, resp.StatusCode, err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestBadRequests: malformed specs are rejected with 400 and an error body.
+func TestBadRequests(t *testing.T) {
+	_, srv := newTestService(t, Config{})
+	cases := []interface{}{
+		RunSpec{Kernel: "no-such-kernel"},
+		RunSpec{Kernel: "cutcp", Policy: "warp-teleport"},
+		RunSpec{Kernel: "cutcp", SM: "ludicrous"},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, srv.URL+"/v1/run", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status = %d, want 400", c, resp.StatusCode)
+		}
+		var er ErrorResponse
+		decodeBody(t, resp, &er)
+		if er.Error == "" {
+			t.Errorf("%+v: empty error body", c)
+		}
+	}
+	// Empty sweep.
+	resp := postJSON(t, srv.URL+"/v1/sweep", SweepSpec{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestTraceRingWraps: the ring retains only the newest entries.
+func TestTraceRingWraps(t *testing.T) {
+	r := newTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.add(RequestTrace{ID: fmt.Sprintf("req-%d", i)})
+	}
+	got := r.snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	if got[0].ID != "req-6" || got[3].ID != "req-9" {
+		t.Errorf("ring order wrong: %v..%v", got[0].ID, got[3].ID)
+	}
+}
+
+// TestMetricsServer: the -metrics-addr backend serves a live registry and a
+// collect hook runs per scrape under the shared lock.
+func TestMetricsServer(t *testing.T) {
+	s, err := New(Config{GridScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	collected := 0
+	ms, err := StartMetricsServer("127.0.0.1:0", s.Registry(), func() {
+		mu.Lock()
+		collected++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "exp_runs_total") {
+		t.Error("live /metrics missing exp_runs_total")
+	}
+	mu.Lock()
+	if collected != 1 {
+		t.Errorf("collect hook ran %d times, want 1", collected)
+	}
+	mu.Unlock()
+}

@@ -85,6 +85,76 @@ type openSpan struct {
 	args  map[string]any
 }
 
+// Span is one generic duration event for WriteChromeSpans: a named interval
+// on a (process, thread) track with optional category and arguments. It is
+// the service/request-trace counterpart of the probe-bus events consumed by
+// WriteChromeTrace, sharing the same output document shape.
+type Span struct {
+	// Name labels the span in the trace viewer.
+	Name string
+	// Cat is the trace-event category (optional).
+	Cat string
+	// PID and TID place the span on a track; WriteChromeSpans emits
+	// process/thread name metadata from ProcessNames and ThreadNames.
+	PID, TID int
+	// StartUS and DurUS are the span's start and duration in microseconds.
+	StartUS, DurUS float64
+	// Args carries extra key/value detail shown on click.
+	Args map[string]any
+}
+
+// SpanOptions parameterises WriteChromeSpans.
+type SpanOptions struct {
+	// ProcessNames maps PIDs to display names (optional).
+	ProcessNames map[int]string
+	// ThreadNames maps (PID, TID) pairs — keyed pid<<32|tid — to display
+	// names; use ThreadKey to build keys (optional).
+	ThreadNames map[int64]string
+}
+
+// ThreadKey builds a ThreadNames key for (pid, tid).
+func ThreadKey(pid, tid int) int64 { return int64(pid)<<32 | int64(uint32(tid)) }
+
+// WriteChromeSpans renders generic spans as Chrome trace-event JSON loadable
+// in Perfetto or chrome://tracing. Output is deterministic for a fixed span
+// slice: metadata is emitted in sorted PID/TID order and spans in input
+// order.
+func WriteChromeSpans(w io.Writer, spans []Span, opts SpanOptions) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	pids := make([]int, 0, len(opts.ProcessNames))
+	for pid := range opts.ProcessNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": opts.ProcessNames[pid]},
+		})
+	}
+	tkeys := make([]int64, 0, len(opts.ThreadNames))
+	for k := range opts.ThreadNames {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool { return tkeys[i] < tkeys[j] })
+	for _, k := range tkeys {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: int(k >> 32), TID: int(uint32(k)),
+			Args: map[string]any{"name": opts.ThreadNames[k]},
+		})
+	}
+	for _, s := range spans {
+		d := s.DurUS
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X", TS: s.StartUS, Dur: &d,
+			PID: s.PID, TID: s.TID, Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
 // WriteChromeTrace renders a probe-bus event stream as Chrome trace-event
 // JSON loadable in Perfetto or chrome://tracing. Events must be in emission
 // order (as returned by Bus.Events). Spans left open at the end of the

@@ -157,3 +157,43 @@ func TestChromeTraceEmptyStream(t *testing.T) {
 		t.Fatalf("invalid JSON for empty stream: %v", err)
 	}
 }
+
+func TestWriteChromeSpans(t *testing.T) {
+	spans := []Span{
+		{Name: "request", Cat: "service", PID: 1, TID: 0, StartUS: 10, DurUS: 120,
+			Args: map[string]any{"id": "req-1", "status": 200}},
+		{Name: "queue", Cat: "stage", PID: 1, TID: 1, StartUS: 10, DurUS: 5},
+	}
+	var b bytes.Buffer
+	err := WriteChromeSpans(&b, spans, SpanOptions{
+		ProcessNames: map[int]string{1: "eqsimd"},
+		ThreadNames:  map[int64]string{ThreadKey(1, 1): "stages"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 metadata + 2 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "M" || doc.TraceEvents[2]["ph"] != "X" {
+		t.Errorf("unexpected event phases: %v", doc.TraceEvents)
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 bytes.Buffer
+	if err := WriteChromeSpans(&b2, spans, SpanOptions{
+		ProcessNames: map[int]string{1: "eqsimd"},
+		ThreadNames:  map[int64]string{ThreadKey(1, 1): "stages"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("WriteChromeSpans output is not deterministic")
+	}
+}
