@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"equalizer/internal/service"
+)
+
+// The serving-path load benchmark (-exp service) stands up an in-process
+// eqsimd service, hammers it with concurrent run and sweep requests from
+// many clients, and reports tail latency, throughput, shed rate and cache
+// hit rate. It runs two passes — cold (empty cache) and warm (a fresh
+// service instance sharing the first pass's cache directory) — so
+// BENCH_service.json tracks both the simulate-and-serve and the
+// serve-forever regimes; the warm pass must do zero simulations. Results
+// returned over HTTP are verified byte-identical to direct harness runs.
+
+// Load-pass shape, set from the command line (-service-requests,
+// -service-clients); -parallel bounds the service's simulation workers.
+var (
+	serviceRequests int
+	serviceClients  int
+	servicePar      int
+)
+
+// serviceCells is the workload mix: one kernel from each paper category
+// crossed with the three headline policies — 12 distinct configurations
+// that thousands of requests collapse onto, exactly the "popular configs
+// simulate once and serve forever" regime the service exists for.
+var serviceCells = []service.RunSpec{
+	{Kernel: "cutcp"}, {Kernel: "cutcp", Policy: "equalizer-perf"}, {Kernel: "cutcp", Policy: "equalizer-energy"},
+	{Kernel: "lbm"}, {Kernel: "lbm", Policy: "equalizer-perf"}, {Kernel: "lbm", Policy: "equalizer-energy"},
+	{Kernel: "kmn"}, {Kernel: "kmn", Policy: "equalizer-perf"}, {Kernel: "kmn", Policy: "equalizer-energy"},
+	{Kernel: "bp-1"}, {Kernel: "bp-1", Policy: "equalizer-perf"}, {Kernel: "bp-1", Policy: "equalizer-energy"},
+}
+
+// servicePass is one load pass's results.
+type servicePass struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	Clients       int     `json:"clients"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ShedRate      float64 `json:"shed_rate"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Simulated     uint64  `json:"simulated"`
+}
+
+// serviceReport is the JSON form of -exp service (BENCH_service.json).
+type serviceReport struct {
+	Scale    float64       `json:"scale"`
+	Cells    int           `json:"cells"`
+	Parallel int           `json:"parallelism"`
+	Passes   []servicePass `json:"passes"`
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// serviceBench runs the cold and warm passes.
+func serviceBench(scale float64, requests, clients, parallel int) (serviceReport, error) {
+	cacheDir, err := os.MkdirTemp("", "eqbench-service-*")
+	if err != nil {
+		return serviceReport{}, err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	rep := serviceReport{Scale: scale, Cells: len(serviceCells)}
+	for _, pass := range []string{"cold", "warm"} {
+		svc, err := service.New(service.Config{
+			GridScale:   scale,
+			Parallelism: parallel,
+			CacheDir:    cacheDir,
+			QueueDepth:  4 * clients,
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.Parallel = svc.Harness().Parallelism()
+		p, err := loadPass(svc, pass, requests, clients)
+		if err != nil {
+			return rep, err
+		}
+		rep.Passes = append(rep.Passes, p)
+		if pass == "warm" && p.Simulated != 0 {
+			return rep, fmt.Errorf("warm pass simulated %d runs, want 0 (cache not serving)", p.Simulated)
+		}
+	}
+	return rep, nil
+}
+
+// loadPass drives one pass of traffic and verifies a sampled response
+// against a direct harness run.
+func loadPass(svc *service.Service, name string, requests, clients int) (servicePass, error) {
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	client.Timeout = 5 * time.Minute
+
+	bodies := make([][]byte, len(serviceCells))
+	for i, c := range serviceCells {
+		b, err := json.Marshal(c)
+		if err != nil {
+			return servicePass{}, err
+		}
+		bodies[i] = b
+	}
+	// Every 16th request is a 3-cell sweep over one kernel's policies,
+	// exercising the batch path under the same load.
+	sweepBody, err := json.Marshal(service.SweepSpec{Runs: serviceCells[:3]})
+	if err != nil {
+		return servicePass{}, err
+	}
+
+	var (
+		next      atomic.Int64
+		shed      atomic.Int64
+		failures  atomic.Int64
+		latMu     sync.Mutex
+		latencies []float64
+		sampleMu  sync.Mutex
+		samples   = map[int][]byte{} // cell index -> totals JSON from one 200 response
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				var (
+					url  = srv.URL + "/v1/run"
+					body = bodies[i%len(bodies)]
+				)
+				if i%16 == 15 {
+					url = srv.URL + "/v1/sweep"
+					body = sweepBody
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					latMu.Lock()
+					latencies = append(latencies, lat.Seconds())
+					latMu.Unlock()
+					if i%16 != 15 {
+						var rr service.RunResponse
+						if err := json.NewDecoder(resp.Body).Decode(&rr); err == nil {
+							if tj, err := json.Marshal(rr.Totals); err == nil {
+								sampleMu.Lock()
+								samples[i%len(bodies)] = tj
+								sampleMu.Unlock()
+							}
+						}
+					}
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					failures.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Verify byte-identical results: each sampled HTTP totals must equal a
+	// direct harness run of the same spec.
+	for i, got := range samples {
+		want, err := svc.DirectTotals(serviceCells[i])
+		if err != nil {
+			return servicePass{}, err
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			return servicePass{}, err
+		}
+		if !bytes.Equal(got, wantJSON) {
+			return servicePass{}, fmt.Errorf("%s pass: %s/%s served totals differ from direct run",
+				name, serviceCells[i].Kernel, serviceCells[i].Policy)
+		}
+	}
+
+	sort.Float64s(latencies)
+	st := svc.Stats()
+	p := servicePass{
+		Name: name, Requests: requests, Clients: clients,
+		OK: len(latencies), Shed: int(shed.Load()), Errors: int(failures.Load()),
+		ElapsedSec:    elapsed.Seconds(),
+		ThroughputRPS: float64(len(latencies)) / elapsed.Seconds(),
+		P50MS:         percentile(latencies, 0.50) * 1e3,
+		P95MS:         percentile(latencies, 0.95) * 1e3,
+		P99MS:         percentile(latencies, 0.99) * 1e3,
+		ShedRate:      float64(shed.Load()) / float64(requests),
+		Simulated:     st.Simulated,
+	}
+	if st.Runs > 0 {
+		p.CacheHitRate = float64(st.MemoHits+st.CacheHits) / float64(st.Runs)
+	}
+	return p, nil
+}
+
+func renderService(rep serviceReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Service load benchmark (%d distinct cells, scale %g, %d workers)\n",
+		rep.Cells, rep.Scale, rep.Parallel)
+	fmt.Fprintf(&b, "%-6s %8s %7s %6s %5s %4s %8s %9s %8s %8s %8s %6s %5s\n",
+		"pass", "requests", "clients", "ok", "shed", "err", "wall-s", "req/s", "p50-ms", "p95-ms", "p99-ms", "hit", "sims")
+	for _, p := range rep.Passes {
+		fmt.Fprintf(&b, "%-6s %8d %7d %6d %5d %4d %8.2f %9.0f %8.2f %8.2f %8.2f %5.1f%% %5d\n",
+			p.Name, p.Requests, p.Clients, p.OK, p.Shed, p.Errors, p.ElapsedSec,
+			p.ThroughputRPS, p.P50MS, p.P95MS, p.P99MS, 100*p.CacheHitRate, p.Simulated)
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+// Command eqsimd is the long-running simulation service: an HTTP/JSON API to
+// submit kernel×policy×config runs and sweeps, backed by the singleflight
+// experiment scheduler and the persistent content-addressed result cache, so
+// popular configurations simulate once and serve forever.
+//
+// Usage:
+//
+//	eqsimd                              # serve on :8080, cache in .eqcache
+//	eqsimd -addr :9000 -parallel 8      # custom port, 8 simulation workers
+//	eqsimd -queue-depth 256 -scale 0.5  # deeper queue, scaled-down grids
+//
+// Endpoints:
+//
+//	POST /v1/run         {"kernel":"cutcp","policy":"equalizer-perf"}
+//	POST /v1/sweep       {"kernels":["cutcp","lbm"],"setups":[{},{"policy":"ccws"}]}
+//	GET  /v1/kernels     available kernels
+//	GET  /metrics        live telemetry registry (Prometheus text)
+//	GET  /metrics.json   live telemetry registry (JSON)
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining)
+//
+// Diagnostic endpoints are served on a separate listener (-debug-addr,
+// loopback by default, empty disables) because request traces leak
+// kernel/policy/error details and pprof can induce profiling load:
+//
+//	GET  /debug/requests request-trace ring buffer (?format=chrome)
+//	     /debug/pprof/*  runtime profiles
+//
+// Overloaded submissions are shed with 429 + Retry-After. SIGTERM/SIGINT
+// starts a graceful drain: /readyz flips to 503, new submissions are
+// refused, in-flight runs complete (bounded by -drain-timeout), then the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"equalizer/internal/service"
+	"equalizer/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "127.0.0.1:8081", "listen address for /debug/requests and /debug/pprof (empty disables)")
+		cacheDir     = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
+		noCache      = flag.Bool("no-cache", false, "disable the persistent result cache")
+		parallel     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 64, "run cells that may wait beyond the in-flight ones before shedding")
+		scale        = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
+		traceCap     = flag.Int("trace-capacity", 256, "request-trace ring-buffer capacity")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+		logFormat    = flag.String("log-format", "text", "structured log format: text | json")
+		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
+	)
+	flag.Parse()
+	if err := run(*addr, *debugAddr, *cacheDir, *noCache, *parallel, *queueDepth, *scale, *traceCap,
+		*retryAfter, *drainTimeout, *logFormat, *logLevel, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "eqsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// newLogger builds the slog logger from the command line.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+func run(addr, debugAddr, cacheDir string, noCache bool, parallel, queueDepth int, scale float64,
+	traceCap int, retryAfter, drainTimeout time.Duration, logFormat, logLevel, cpuprofile, memprofile string) error {
+	log, err := newLogger(logFormat, logLevel)
+	if err != nil {
+		return err
+	}
+	stopProfiling, err := telemetry.StartProfiling(cpuprofile, memprofile)
+	if err != nil {
+		return err
+	}
+	if noCache {
+		cacheDir = ""
+	}
+	svc, err := service.New(service.Config{
+		GridScale:     scale,
+		Parallelism:   parallel,
+		QueueDepth:    queueDepth,
+		CacheDir:      cacheDir,
+		TraceCapacity: traceCap,
+		RetryAfter:    retryAfter,
+		Logger:        log,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Info("serving", slog.String("addr", addr),
+			slog.String("cache_dir", cacheDir), slog.Float64("scale", scale))
+		serveErr <- srv.ListenAndServe()
+	}()
+
+	// The diagnostic surface binds separately (loopback by default): its
+	// failure degrades debuggability, not service.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: svc.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Info("debug listener", slog.String("addr", debugAddr))
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Warn("debug listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-sig:
+		log.Info("shutdown signal", slog.String("signal", got.String()))
+	}
+
+	// Graceful drain: refuse new work, finish in-flight runs, then close
+	// the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		log.Warn("drain incomplete", slog.String("error", err.Error()))
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("http shutdown", slog.String("error", err.Error()))
+		if cerr := srv.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			debugSrv.Close()
+		}
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := svc.Stats()
+	log.Info("exit",
+		slog.Uint64("runs", st.Runs), slog.Uint64("simulated", st.Simulated),
+		slog.Uint64("memo_hits", st.MemoHits), slog.Uint64("cache_hits", st.CacheHits))
+	return stopProfiling()
+}

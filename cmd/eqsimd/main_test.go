@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		for _, level := range []string{"debug", "info", "warn", "error"} {
+			if _, err := newLogger(format, level); err != nil {
+				t.Errorf("newLogger(%q, %q): %v", format, level, err)
+			}
+		}
+	}
+	if _, err := newLogger("xml", "info"); err == nil {
+		t.Error("newLogger accepted unknown format")
+	}
+	if _, err := newLogger("text", "loud"); err == nil {
+		t.Error("newLogger accepted unknown level")
+	}
+}

@@ -108,6 +108,40 @@ func TestRunCtxWaiterCancellation(t *testing.T) {
 	}
 }
 
+// TestRunCtxErrorNotMemoized: a transient simulation failure is not held in
+// the memo for the process lifetime — the next request for the same key
+// retries and succeeds.
+func TestRunCtxErrorNotMemoized(t *testing.T) {
+	h := New(Options{GridScale: 0.05})
+	k := testKernel(t)
+	boom := errors.New("transient fault")
+	calls := 0
+	h.simFault = func() error {
+		calls++
+		if calls == 1 {
+			return boom
+		}
+		return nil
+	}
+
+	if _, _, err := h.RunCtx(context.Background(), k, Baseline()); !errors.Is(err, boom) {
+		t.Fatalf("first run err = %v, want injected fault", err)
+	}
+	tot, src, err := h.RunCtx(context.Background(), k, Baseline())
+	if err != nil {
+		t.Fatalf("retry after transient fault failed: %v", err)
+	}
+	if src != SourceSim {
+		t.Errorf("retry source = %q, want sim (memo must not hold the failed attempt)", src)
+	}
+	if tot.TimePS <= 0 {
+		t.Errorf("TimePS = %d, want > 0", tot.TimePS)
+	}
+	if st := h.SchedulerStats(); st.Canceled != 0 {
+		t.Errorf("canceled counter = %d, want 0 (fault is not a cancellation)", st.Canceled)
+	}
+}
+
 // TestRunCtxStageTiming: an injected clock populates the exp_stage_seconds
 // histograms without changing results.
 func TestRunCtxStageTiming(t *testing.T) {

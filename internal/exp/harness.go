@@ -78,6 +78,11 @@ type Harness struct {
 	mu   sync.Mutex
 	memo map[runKey]*memoEntry
 
+	// simFault, when set, is consulted at the top of every simulation;
+	// a non-nil return aborts the run with that error. Test hook for the
+	// errors-are-never-memoized guarantee.
+	simFault func() error
+
 	// Scheduler and cache counters, exported through the telemetry
 	// registry supplied in Options.
 	runs, sims, memoHits                           *telemetry.Counter
@@ -90,8 +95,9 @@ type Harness struct {
 // memoEntry is one singleflight cell: the first requester for a key becomes
 // the owner, computes the result, and closes done; concurrent requesters
 // block on done (or their own context) and then read the shared result. An
-// owner whose context is canceled removes the entry before closing done, so
-// a later request retries instead of inheriting the cancellation forever.
+// owner whose attempt fails — cancellation or any other error — removes the
+// entry before closing done, so a later request retries instead of
+// inheriting the failure forever.
 type memoEntry struct {
 	done chan struct{}
 	t    Totals
@@ -375,9 +381,13 @@ func isCancellation(err error) bool {
 // RunCtx is Run with cancellation: a requester whose context ends while it
 // is waiting — on the singleflight memo or between simulated invocations —
 // stops consuming a simulation worker instead of running to completion.
-// Cancellation never poisons the memo: an owner that aborts removes its
-// entry so the next request for the key recomputes, and a waiter that
-// aborts leaves the owner's computation untouched for everyone else.
+// Errors never poison the memo: an owner whose attempt fails (cancellation
+// or any other error, e.g. a transient disk fault) removes its entry so the
+// next request for the key recomputes. Waiters already attached to a failed
+// attempt share its error — except cancellations, which were the owner's
+// own deadline, so the waiter starts over with its own context — and a
+// waiter that aborts leaves the owner's computation untouched for everyone
+// else.
 func (h *Harness) RunCtx(ctx context.Context, k kernels.Kernel, s Setup) (Totals, RunSource, error) {
 	h.runs.Inc()
 	key := runKey{kernel: k.Name, setup: s}
@@ -410,8 +420,10 @@ func (h *Harness) RunCtx(ctx context.Context, k kernels.Kernel, s Setup) (Totals
 		h.mu.Unlock()
 		var src RunSource
 		e.t, src, e.err = h.loadOrSimulate(ctx, k, s)
-		if e.err != nil && isCancellation(e.err) {
-			h.canceled.Inc()
+		if e.err != nil {
+			if isCancellation(e.err) {
+				h.canceled.Inc()
+			}
 			h.mu.Lock()
 			delete(h.memo, key)
 			h.mu.Unlock()
@@ -462,6 +474,11 @@ func (h *Harness) simulate(ctx context.Context, k kernels.Kernel, s Setup) (Tota
 	h.sims.Inc()
 	simStart := h.clock()
 	defer func() { h.observeStage(h.stageSim, simStart) }()
+	if h.simFault != nil {
+		if err := h.simFault(); err != nil {
+			return Totals{}, err
+		}
+	}
 	kk := h.scaled(k)
 	m, err := gpu.New(h.gpuCfg, h.pwrCfg, h.buildPolicy(s))
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 	"equalizer/internal/telemetry"
 )
 
-// Handler returns the service's full HTTP surface:
+// Handler returns the service's public HTTP surface:
 //
 //	POST /v1/run         one kernel×policy×config run
 //	POST /v1/sweep       a batch of runs (kernels×setups cross product)
@@ -23,8 +23,8 @@ import (
 //	GET  /metrics.json   telemetry registry, JSON
 //	GET  /healthz        process liveness
 //	GET  /readyz         admission readiness (503 while draining)
-//	GET  /debug/requests request-trace ring buffer (?format=chrome)
-//	     /debug/pprof/*  net/http/pprof profiles
+//
+// The diagnostic endpoints live on DebugHandler, not here.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
@@ -34,6 +34,18 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+// DebugHandler returns the diagnostic surface, kept off the public Handler
+// because request traces carry kernel/policy/error details and pprof lets a
+// caller induce CPU-profiling load — bind it to a loopback-only listener
+// (eqsimd's -debug-addr):
+//
+//	GET  /debug/requests request-trace ring buffer (?format=chrome)
+//	     /debug/pprof/*  net/http/pprof profiles
+func (s *Service) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/requests", s.handleRequests)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -120,10 +132,16 @@ func (s *Service) writeError(w http.ResponseWriter, tr *activeTrace, status int,
 	return status, err
 }
 
-// admitRequest runs the shared admission path for n cells: drain refusal
-// (503), then queue-bound shedding (429). ok=false means the response has
-// been written.
+// admitRequest runs the shared admission path for n cells: capacity check
+// (413 — a request larger than the whole queue can never be admitted, so
+// retrying is pointless), drain refusal (503), then queue-bound shedding
+// (429). ok=false means the response has been written.
 func (s *Service) admitRequest(w http.ResponseWriter, tr *activeTrace, n int) (int, error, bool) {
+	if int64(n) > s.queueCap {
+		st, err := s.writeError(w, tr, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request needs %d run cells but the service admits at most %d: split the sweep or raise -queue-depth", n, s.queueCap))
+		return st, err, false
+	}
 	if !s.beginWork() {
 		st, err := s.writeError(w, tr, http.StatusServiceUnavailable, fmt.Errorf("service is draining"))
 		return st, err, false

@@ -212,6 +212,39 @@ func TestAdmissionControlShedsWith429(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestOversizedSweepRejectedWith413: a sweep larger than the whole queue can
+// never be admitted, so it is rejected with 413 (no Retry-After — retrying is
+// pointless) rather than shed with 429, and the service keeps serving.
+func TestOversizedSweepRejectedWith413(t *testing.T) {
+	s, srv := newTestService(t, Config{Parallelism: 1, QueueDepth: -1})
+
+	resp := postJSON(t, srv.URL+"/v1/sweep", SweepSpec{
+		Kernels: []string{"cutcp"},
+		Setups:  []RunSpec{{}, {Policy: "static", SM: "high"}},
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized sweep status = %d, want 413", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Errorf("413 carries Retry-After %q; the request can never succeed", ra)
+	}
+	var er ErrorResponse
+	decodeBody(t, resp, &er)
+	if !strings.Contains(er.Error, "split the sweep") {
+		t.Errorf("413 body %q does not tell the client how to proceed", er.Error)
+	}
+	if got := s.shed.Value(); got != 0 {
+		t.Errorf("shed counter = %d after capacity rejection, want 0 (not overload)", got)
+	}
+
+	// A sweep that fits still works.
+	resp = postJSON(t, srv.URL+"/v1/sweep", SweepSpec{Kernels: []string{"cutcp"}, Setups: []RunSpec{{}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("fitting sweep status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
 // TestGracefulDrain: draining flips /readyz to 503, refuses new work with
 // 503 + Retry-After, completes in-flight runs, and Drain returns once they
 // finish.
@@ -303,12 +336,25 @@ func TestSweepCrossProduct(t *testing.T) {
 
 // TestRequestTracesAndChromeExport: completed requests land in the ring
 // buffer with stages and request IDs; the chrome form is a valid trace doc.
+// The traces are served off the debug handler, not the public one.
 func TestRequestTracesAndChromeExport(t *testing.T) {
-	_, srv := newTestService(t, Config{})
+	s, srv := newTestService(t, Config{})
+	dbg := httptest.NewServer(s.DebugHandler())
+	t.Cleanup(dbg.Close)
 	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
 	resp.Body.Close()
 
-	resp, err := http.Get(srv.URL + "/debug/requests")
+	// The public handler must not expose the trace ring.
+	if resp, err := http.Get(srv.URL + "/debug/requests"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("public /debug/requests = %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(dbg.URL + "/debug/requests")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +377,7 @@ func TestRequestTracesAndChromeExport(t *testing.T) {
 		}
 	}
 
-	resp, err = http.Get(srv.URL + "/debug/requests?format=chrome")
+	resp, err = http.Get(dbg.URL + "/debug/requests?format=chrome")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +393,7 @@ func TestRequestTracesAndChromeExport(t *testing.T) {
 // TestMetricsEndpoints: the live registry serves both formats with the key
 // service and scheduler series present.
 func TestMetricsEndpoints(t *testing.T) {
-	_, srv := newTestService(t, Config{})
+	s, srv := newTestService(t, Config{})
 	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
 	resp.Body.Close()
 
@@ -378,13 +424,28 @@ func TestMetricsEndpoints(t *testing.T) {
 		t.Error("/metrics.json returned no families")
 	}
 
-	for _, path := range []string{"/healthz", "/debug/pprof/cmdline"} {
-		resp, err := http.Get(srv.URL + path)
-		if err != nil || resp.StatusCode != http.StatusOK {
-			t.Errorf("%s = %v, %v", path, resp.StatusCode, err)
-		}
-		resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %v, %v", resp.StatusCode, err)
 	}
+	resp.Body.Close()
+
+	// pprof lives on the debug handler only.
+	dbg := httptest.NewServer(s.DebugHandler())
+	t.Cleanup(dbg.Close)
+	resp, err = http.Get(dbg.URL + "/debug/pprof/cmdline")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("debug /debug/pprof/cmdline = %v, %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("public /debug/pprof/cmdline = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
 }
 
 // TestBadRequests: malformed specs are rejected with 400 and an error body.
