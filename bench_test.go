@@ -1,6 +1,7 @@
 package equalizer_test
 
 import (
+	"fmt"
 	"testing"
 
 	"equalizer/internal/config"
@@ -187,7 +188,7 @@ func BenchmarkSimulatorCyclesPerSecond(b *testing.B) {
 // and reports simulated SM cycles per wall second. The fast/legacy pairs
 // below are the cycle-engine smoke benchmarks CI tracks (BENCH_engine.json
 // holds the full-scale numbers from cmd/eqbench -exp engine).
-func benchmarkEngine(b *testing.B, kernel string, fastForward bool) {
+func benchmarkEngine(b *testing.B, kernel string, fastForward bool, shards int) {
 	k, err := kernels.ByName(kernel)
 	if err != nil {
 		b.Fatal(err)
@@ -198,6 +199,7 @@ func benchmarkEngine(b *testing.B, kernel string, fastForward bool) {
 	for i := 0; i < b.N; i++ {
 		m := gpu.MustNew(config.Default(), power.Default(), core.New(core.EnergyMode))
 		m.SetFastForward(fastForward)
+		m.SetSMShards(shards)
 		for inv := 0; inv < k.Invocations; inv++ {
 			res, err := m.RunKernel(k, inv)
 			if err != nil {
@@ -212,16 +214,24 @@ func benchmarkEngine(b *testing.B, kernel string, fastForward bool) {
 // BenchmarkEngine measures the cycle engines on one compute-bound and one
 // memory-bound kernel: cutcp saturates the ALU pipes (the bitset issue path
 // carries the fast engine's win), lbm stalls on DRAM (the quiescent-cycle
-// bulk advance carries it).
+// bulk advance carries it). The shard axis steps the SMs with 1 (sequential)
+// or more workers; output is byte-identical across the axis, so the delta is
+// pure wall-clock.
 func BenchmarkEngine(b *testing.B) {
+	shardAxis := []int{1, 2}
+	if n := gpu.AutoShards(1, config.Default().NumSMs); n > 2 {
+		shardAxis = append(shardAxis, n)
+	}
 	for _, kernel := range []string{"cutcp", "lbm"} {
 		for _, engine := range []struct {
 			name string
 			fast bool
 		}{{"fast", true}, {"legacy", false}} {
-			b.Run(kernel+"/"+engine.name, func(b *testing.B) {
-				benchmarkEngine(b, kernel, engine.fast)
-			})
+			for _, shards := range shardAxis {
+				b.Run(fmt.Sprintf("%s/%s/shards=%d", kernel, engine.name, shards), func(b *testing.B) {
+					benchmarkEngine(b, kernel, engine.fast, shards)
+				})
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -14,27 +15,46 @@ import (
 
 // The cycle-engine throughput benchmark (-exp engine) times one
 // compute-bound and one memory-bound kernel under the Equalizer runtime on
-// both cycle engines and reports simulated SM cycles per wall second. CI
-// stores the JSON form as BENCH_engine.json to track the engine's perf
-// trajectory; the fast/legacy ratio is the fast path's win. Wall-clock
-// timing lives here in cmd because the internal simulator packages are under
-// the nodeterminism analyzer's wall-clock ban.
+// both cycle engines and a sweep of intra-run SM shard counts, reporting
+// simulated SM cycles per wall second. CI stores the JSON form as
+// BENCH_engine.json to track the engine's perf trajectory; the fast/legacy
+// ratio is the fast path's win and the sharded/sequential ratio is the shard
+// engine's. Wall-clock timing lives here in cmd because the internal
+// simulator packages are under the nodeterminism analyzer's wall-clock ban.
 
-// engineRun is one (kernel, engine) measurement.
+// engineRun is one (kernel, engine, shards) measurement.
 type engineRun struct {
 	Kernel       string  `json:"kernel"`
 	Bound        string  `json:"bound"`
 	Engine       string  `json:"engine"`
+	FastForward  bool    `json:"fastforward"`
+	Shards       int     `json:"shards"`
 	SMCycles     int64   `json:"sm_cycles"`
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 }
 
+// engineMeta records the execution environment of one report, so trajectory
+// comparisons across CI runners and local hosts are interpretable: a shard
+// speedup only means something relative to the cores that were available.
+type engineMeta struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	NumSMs     int    `json:"num_sms"`
+	Shards     []int  `json:"shard_axis"`
+}
+
 // engineReport is the JSON form of -exp engine (BENCH_engine.json).
 type engineReport struct {
+	Meta engineMeta  `json:"meta"`
 	Runs []engineRun `json:"runs"`
-	// Speedup is the fast engine's cycles/s over the legacy loop, per kernel.
+	// Speedup is the fast engine's cycles/s over the legacy loop, per
+	// kernel, at shards=1.
 	Speedup map[string]float64 `json:"speedup"`
+	// ShardSpeedup is the best sharded fast-engine cycles/s over the
+	// sequential (shards=1) fast engine, per kernel.
+	ShardSpeedup map[string]float64 `json:"shard_speedup"`
 }
 
 // engineCases pairs one kernel from each end of the paper's workload
@@ -46,8 +66,38 @@ var engineCases = []struct{ kernel, bound string }{
 	{"lbm", "memory"},
 }
 
-func engineBench(scale float64) (engineReport, error) {
-	rep := engineReport{Speedup: map[string]float64{}}
+// engineShardAxis picks the shard counts to sweep: always sequential, always
+// a >1 point (so the sharded path is exercised even on small hosts), and the
+// host-saturating count when it differs. An explicit -sm-shards pins the
+// sweep to {1, n}.
+func engineShardAxis(requested, numSMs int) []int {
+	if requested > 1 {
+		if requested > numSMs {
+			requested = numSMs
+		}
+		return []int{1, requested}
+	}
+	axis := []int{1, 2}
+	if full := gpu.AutoShards(1, numSMs); full > 2 {
+		axis = append(axis, full)
+	}
+	return axis
+}
+
+func engineBench(scale float64, smShards int) (engineReport, error) {
+	cfg := config.Default()
+	axis := engineShardAxis(smShards, cfg.NumSMs)
+	rep := engineReport{
+		Meta: engineMeta{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			NumSMs:     cfg.NumSMs,
+			Shards:     axis,
+		},
+		Speedup:      map[string]float64{},
+		ShardSpeedup: map[string]float64{},
+	}
 	for _, c := range engineCases {
 		k, err := kernels.ByName(c.kernel)
 		if err != nil {
@@ -56,32 +106,42 @@ func engineBench(scale float64) (engineReport, error) {
 		if scale > 0 && scale < 1 {
 			k = k.WithGridScale(scale, 1)
 		}
-		rate := map[string]float64{}
+		seqRate := map[string]float64{}
+		bestSharded := 0.0
 		for _, engine := range []string{"legacy", "fast"} {
-			m, err := gpu.New(config.Default(), power.Default(), core.New(core.EnergyMode))
-			if err != nil {
-				return rep, err
-			}
-			m.SetFastForward(engine == "fast")
-			var cycles int64
-			start := time.Now()
-			for inv := 0; inv < k.Invocations; inv++ {
-				res, err := m.RunKernel(k, inv)
+			for _, shards := range axis {
+				m, err := gpu.New(cfg, power.Default(), core.New(core.EnergyMode))
 				if err != nil {
 					return rep, err
 				}
-				cycles += res.SMCycles
+				m.SetFastForward(engine == "fast")
+				m.SetSMShards(shards)
+				var cycles int64
+				start := time.Now()
+				for inv := 0; inv < k.Invocations; inv++ {
+					res, err := m.RunKernel(k, inv)
+					if err != nil {
+						return rep, err
+					}
+					cycles += res.SMCycles
+				}
+				elapsed := time.Since(start).Seconds()
+				r := engineRun{
+					Kernel: c.kernel, Bound: c.bound, Engine: engine,
+					FastForward: engine == "fast", Shards: shards,
+					SMCycles: cycles, ElapsedSec: elapsed,
+					CyclesPerSec: float64(cycles) / elapsed,
+				}
+				rep.Runs = append(rep.Runs, r)
+				if shards == 1 {
+					seqRate[engine] = r.CyclesPerSec
+				} else if engine == "fast" && r.CyclesPerSec > bestSharded {
+					bestSharded = r.CyclesPerSec
+				}
 			}
-			elapsed := time.Since(start).Seconds()
-			r := engineRun{
-				Kernel: c.kernel, Bound: c.bound, Engine: engine,
-				SMCycles: cycles, ElapsedSec: elapsed,
-				CyclesPerSec: float64(cycles) / elapsed,
-			}
-			rep.Runs = append(rep.Runs, r)
-			rate[engine] = r.CyclesPerSec
 		}
-		rep.Speedup[c.kernel] = rate["fast"] / rate["legacy"]
+		rep.Speedup[c.kernel] = seqRate["fast"] / seqRate["legacy"]
+		rep.ShardSpeedup[c.kernel] = bestSharded / seqRate["fast"]
 	}
 	return rep, nil
 }
@@ -89,14 +149,17 @@ func engineBench(scale float64) (engineReport, error) {
 func renderEngine(rep engineReport) string {
 	var b strings.Builder
 	b.WriteString("Cycle-engine throughput (simulated SM cycles per wall second)\n")
-	fmt.Fprintf(&b, "%-8s %-8s %-7s %12s %9s %14s\n",
-		"kernel", "bound", "engine", "sm-cycles", "wall-s", "cycles/s")
+	fmt.Fprintf(&b, "%s, GOMAXPROCS=%d, %d CPUs\n",
+		rep.Meta.GoVersion, rep.Meta.GoMaxProcs, rep.Meta.NumCPU)
+	fmt.Fprintf(&b, "%-8s %-8s %-7s %7s %12s %9s %14s\n",
+		"kernel", "bound", "engine", "shards", "sm-cycles", "wall-s", "cycles/s")
 	for _, r := range rep.Runs {
-		fmt.Fprintf(&b, "%-8s %-8s %-7s %12d %9.3f %14.0f\n",
-			r.Kernel, r.Bound, r.Engine, r.SMCycles, r.ElapsedSec, r.CyclesPerSec)
+		fmt.Fprintf(&b, "%-8s %-8s %-7s %7d %12d %9.3f %14.0f\n",
+			r.Kernel, r.Bound, r.Engine, r.Shards, r.SMCycles, r.ElapsedSec, r.CyclesPerSec)
 	}
 	for _, c := range engineCases {
-		fmt.Fprintf(&b, "%s fast-engine speedup: %.2fx\n", c.kernel, rep.Speedup[c.kernel])
+		fmt.Fprintf(&b, "%s fast-engine speedup: %.2fx, shard speedup: %.2fx\n",
+			c.kernel, rep.Speedup[c.kernel], rep.ShardSpeedup[c.kernel])
 	}
 	return b.String()
 }

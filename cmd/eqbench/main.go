@@ -46,6 +46,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
 		asJSON     = flag.Bool("json", false, "emit JSON instead of text (fig7, fig8, fig10, summary, boost, engine, service)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		smShards   = flag.Int("sm-shards", 0, "intra-run SM worker count per simulation (0 = auto: never oversubscribes -parallel)")
 		cacheDir   = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent result cache")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -66,8 +67,9 @@ func main() {
 		}
 	}()
 	servicePar = *parallel
+	benchShards = *smShards
 	reg := telemetry.NewRegistry()
-	h, err := newHarness(*scale, *parallel, *cacheDir, *noCache, reg)
+	h, err := newHarness(*scale, *parallel, *smShards, *cacheDir, *noCache, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eqbench: %v\n", err)
 		os.Exit(1)
@@ -115,10 +117,11 @@ func main() {
 // newHarness wires the experiment harness with the pool width and the disk
 // cache selected on the command line. The registry backs -metrics-addr live
 // serving.
-func newHarness(scale float64, parallel int, cacheDir string, noCache bool, reg *telemetry.Registry) (*exp.Harness, error) {
+func newHarness(scale float64, parallel, smShards int, cacheDir string, noCache bool, reg *telemetry.Registry) (*exp.Harness, error) {
 	opts := exp.Options{
 		GridScale:   scale,
 		Parallelism: parallel,
+		SMShards:    smShards,
 		Registry:    reg,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -146,7 +149,7 @@ func printStats(h *exp.Harness) {
 func run(h *exp.Harness, name string, scale float64) (string, error) {
 	switch name {
 	case "engine":
-		rep, err := engineBench(scale)
+		rep, err := engineBench(scale, benchShards)
 		if err != nil {
 			return "", err
 		}
@@ -266,7 +269,7 @@ func runJSON(h *exp.Harness, name string, scale float64) error {
 	var err error
 	switch name {
 	case "engine":
-		v, err = engineBench(scale)
+		v, err = engineBench(scale, benchShards)
 	case "service":
 		v, err = serviceBench(scale, serviceRequests, serviceClients, servicePar)
 	case "fig7":

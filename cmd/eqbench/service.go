@@ -26,11 +26,13 @@ import (
 // returned over HTTP are verified byte-identical to direct harness runs.
 
 // Load-pass shape, set from the command line (-service-requests,
-// -service-clients); -parallel bounds the service's simulation workers.
+// -service-clients); -parallel bounds the service's simulation workers and
+// -sm-shards pins the engine benchmark's shard axis.
 var (
 	serviceRequests int
 	serviceClients  int
 	servicePar      int
+	benchShards     int
 )
 
 // serviceCells is the workload mix: one kernel from each paper category

@@ -55,6 +55,7 @@ func main() {
 		cacheDir     = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
 		noCache      = flag.Bool("no-cache", false, "disable the persistent result cache")
 		parallel     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		smShards     = flag.Int("sm-shards", 0, "intra-run SM worker count per simulation (0 = auto: never oversubscribes -parallel)")
 		queueDepth   = flag.Int("queue-depth", 64, "run cells that may wait beyond the in-flight ones before shedding")
 		scale        = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
 		traceCap     = flag.Int("trace-capacity", 256, "request-trace ring-buffer capacity")
@@ -66,7 +67,7 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*addr, *debugAddr, *cacheDir, *noCache, *parallel, *queueDepth, *scale, *traceCap,
+	if err := run(*addr, *debugAddr, *cacheDir, *noCache, *parallel, *smShards, *queueDepth, *scale, *traceCap,
 		*retryAfter, *drainTimeout, *logFormat, *logLevel, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "eqsimd:", err)
 		os.Exit(1)
@@ -99,7 +100,7 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-func run(addr, debugAddr, cacheDir string, noCache bool, parallel, queueDepth int, scale float64,
+func run(addr, debugAddr, cacheDir string, noCache bool, parallel, smShards, queueDepth int, scale float64,
 	traceCap int, retryAfter, drainTimeout time.Duration, logFormat, logLevel, cpuprofile, memprofile string) error {
 	log, err := newLogger(logFormat, logLevel)
 	if err != nil {
@@ -115,6 +116,7 @@ func run(addr, debugAddr, cacheDir string, noCache bool, parallel, queueDepth in
 	svc, err := service.New(service.Config{
 		GridScale:     scale,
 		Parallelism:   parallel,
+		SMShards:      smShards,
 		QueueDepth:    queueDepth,
 		CacheDir:      cacheDir,
 		TraceCapacity: traceCap,

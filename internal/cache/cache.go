@@ -298,7 +298,10 @@ func (c *Cache) Flush() {
 			set[i] = line{}
 		}
 	}
-	c.mshrs = make(map[Addr]int, c.geom.MSHRs)
+	// Clear in place instead of reallocating: per-invocation flushes of 16
+	// caches otherwise cost a fresh map each, and the retained buckets are
+	// exactly the steady-state MSHR footprint.
+	clear(c.mshrs)
 }
 
 // Geometry returns the configured geometry.

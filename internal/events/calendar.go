@@ -19,7 +19,16 @@ type Calendar[T any] struct {
 	buckets [][]calEntry[T]
 	mask    int64
 	width   int64
-	// cur is the absolute bucket number of the cursor: every bucket below it
+	// base rebases bucket numbering to the first timestamp the wheel sees
+	// after a Reset (< 0 while unset). Bucket numbers — and therefore the
+	// physical bucket an entry lands in — depend only on time elapsed since
+	// the run started, not on the machine's absolute clock, so identical
+	// back-to-back runs reuse exactly the same bucket capacities and the
+	// wheel stays allocation-free in steady state. Delivery semantics are
+	// unchanged: PopReady(now) always delivers exactly the entries with
+	// at <= now, whatever the bucket boundaries.
+	base int64
+	// cur is the rebased bucket number of the cursor: every bucket below it
 	// has been fully delivered.
 	cur int64
 	// wheelN counts entries resident in the wheel (excludes overflow).
@@ -51,15 +60,23 @@ func NewCalendar[T any](width int64, buckets int) *Calendar[T] {
 		buckets: make([][]calEntry[T], n),
 		mask:    int64(n - 1),
 		width:   width,
+		base:    -1,
 	}
 }
 
 // Len returns the number of pending events.
 func (c *Calendar[T]) Len() int { return c.wheelN + c.overflow.Len() }
 
-// bucketOf maps a timestamp to its absolute bucket number. Timestamps are
-// non-negative simulation times.
-func (c *Calendar[T]) bucketOf(at int64) int64 { return at / c.width }
+// bucketOf maps a timestamp to its rebased bucket number, pinning the base
+// on first use. Timestamps are non-negative simulation times; a timestamp
+// below the base (only possible for a late push) maps to a negative bucket,
+// which Push clamps to the cursor like any other late push.
+func (c *Calendar[T]) bucketOf(at int64) int64 {
+	if c.base < 0 {
+		c.base = at
+	}
+	return (at - c.base) / c.width
+}
 
 // Push schedules v at time at. Late pushes (a bucket the cursor has passed)
 // clamp into the cursor bucket so the entry still delivers at the next
@@ -182,6 +199,7 @@ func (c *Calendar[T]) Reset() {
 		}
 		c.buckets[i] = bucket[:0]
 	}
+	c.base = -1
 	c.cur = 0
 	c.wheelN = 0
 	c.nextWheelValid = false

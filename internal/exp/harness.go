@@ -40,6 +40,12 @@ type Options struct {
 	// owns its gpu.Machine, and figures aggregate results in declaration
 	// order from the memo, never in completion order.
 	Parallelism int
+	// SMShards sets each machine's intra-run worker count (gpu.SetSMShards):
+	// byte-identical results at any value. 0 derives a default from the
+	// host via gpu.AutoShards so the shard workers and the Parallelism
+	// worker pool together never oversubscribe the cores — a saturated pool
+	// gets sequential machines; a single-run harness gets the whole host.
+	SMShards int
 	// Cache is the persistent on-disk result store; nil disables disk
 	// caching (in-process memoisation always applies).
 	Cache *runcache.Cache
@@ -66,14 +72,15 @@ type Options struct {
 // when prefetches race, and it executes declared run grids on a bounded
 // worker pool. Safe for concurrent use.
 type Harness struct {
-	gpuCfg config.GPU
-	pwrCfg power.Config
-	scale  float64
-	par    int
-	sem    chan struct{}
-	cache  *runcache.Cache
-	logf   func(format string, args ...interface{})
-	now    func() int64
+	gpuCfg   config.GPU
+	pwrCfg   power.Config
+	scale    float64
+	par      int
+	smShards int
+	sem      chan struct{}
+	cache    *runcache.Cache
+	logf     func(format string, args ...interface{})
+	now      func() int64
 
 	mu   sync.Mutex
 	memo map[runKey]*memoEntry
@@ -90,6 +97,8 @@ type Harness struct {
 	sweepCutoffs                                   *telemetry.Counter
 	canceled                                       *telemetry.Counter
 	stageDedup, stageCache, stageSim               *telemetry.Histogram
+	shardBarriers, shardFallbacks                  *telemetry.Counter
+	shardStepTotal, shardFFTotal                   *telemetry.Counter
 }
 
 // memoEntry is one singleflight cell: the first requester for a key becomes
@@ -127,6 +136,10 @@ func New(opts Options) *Harness {
 	if h.par <= 0 {
 		h.par = runtime.GOMAXPROCS(0)
 	}
+	h.smShards = opts.SMShards
+	if h.smShards <= 0 {
+		h.smShards = gpu.AutoShards(h.par, h.gpuCfg.NumSMs)
+	}
 	h.sem = make(chan struct{}, h.par)
 	if h.logf == nil {
 		h.logf = func(string, ...interface{}) {}
@@ -144,6 +157,12 @@ func New(opts Options) *Harness {
 	h.cacheErrs = reg.Counter("exp_cache_errors_total", "corrupt or unwritable cache entries", nil)
 	h.sweepCutoffs = reg.Counter("exp_sweep_cutoffs_total", "block sweeps stopped early by monotone-tail detection", nil)
 	h.canceled = reg.Counter("exp_runs_canceled_total", "runs abandoned by context cancellation before completing", nil)
+	h.shardBarriers = reg.Counter("gpu_shard_barrier_waits_total", "phase-barrier rounds crossed by sharded cycle engines", nil)
+	h.shardStepTotal = reg.Counter("gpu_shard_cycles_total", "SM cycles stepped by shard workers, by mode",
+		telemetry.Labels{"mode": "step"})
+	h.shardFFTotal = reg.Counter("gpu_shard_cycles_total", "SM cycles stepped by shard workers, by mode",
+		telemetry.Labels{"mode": "fastforward"})
+	h.shardFallbacks = reg.Counter("gpu_shard_sequential_fallbacks_total", "sharded runs that fell back to the sequential loop", nil)
 	h.now = opts.Now
 	if h.now != nil {
 		bounds := []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
@@ -176,6 +195,9 @@ func (h *Harness) clock() int64 {
 
 // Parallelism returns the effective worker-pool width.
 func (h *Harness) Parallelism() int { return h.par }
+
+// SMShards returns the effective per-machine intra-run worker count.
+func (h *Harness) SMShards() int { return h.smShards }
 
 // SchedulerStats snapshots the harness's run and cache counters.
 type SchedulerStats struct {
@@ -484,6 +506,14 @@ func (h *Harness) simulate(ctx context.Context, k kernels.Kernel, s Setup) (Tota
 	if err != nil {
 		return Totals{}, err
 	}
+	m.SetSMShards(h.smShards)
+	defer func() {
+		ss := m.ShardStats()
+		h.shardBarriers.Add(ss.Barriers)
+		h.shardStepTotal.Add(ss.StepCycles)
+		h.shardFFTotal.Add(ss.FastForwardCycles)
+		h.shardFallbacks.Add(ss.SequentialRuns)
+	}()
 	m.SetLevelsImmediate(s.SM, s.Mem)
 	var t Totals
 	var l1Weighted, dramWeighted float64

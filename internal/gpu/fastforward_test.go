@@ -33,9 +33,10 @@ type capture struct {
 }
 
 // runCapture executes invocations of tasks on a fresh machine with the
-// fast-forward engine on or off and captures every observable output.
+// fast-forward engine on or off, the SMs stepped by shards workers
+// (1 = sequential), and captures every observable output.
 func runCapture(t *testing.T, tasks []gpu.Task, invocations int,
-	mkPolicy func() gpu.Policy, mask telemetry.Mask, fastForward bool) capture {
+	mkPolicy func() gpu.Policy, mask telemetry.Mask, fastForward bool, shards int) capture {
 	t.Helper()
 	var pol gpu.Policy
 	if mkPolicy != nil {
@@ -43,6 +44,7 @@ func runCapture(t *testing.T, tasks []gpu.Task, invocations int,
 	}
 	m := gpu.MustNew(config.Default(), power.Default(), pol)
 	m.SetFastForward(fastForward)
+	m.SetSMShards(shards)
 	bus := telemetry.NewBus(1<<15, mask)
 	m.AttachTelemetry(bus)
 
@@ -149,8 +151,8 @@ func TestFastForwardByteIdenticalAllKernels(t *testing.T) {
 				return e
 			}
 			tasks := []gpu.Task{{Kernel: k}}
-			fast := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true)
-			legacy := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, false)
+			fast := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true, 1)
+			legacy := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, false, 1)
 			compareCaptures(t, fast, legacy)
 		})
 	}
@@ -173,8 +175,8 @@ func TestFastForwardByteIdenticalCensusMask(t *testing.T) {
 			k.GridBlocks = 30
 			mk := func() gpu.Policy { return core.New(core.PerformanceMode) }
 			tasks := []gpu.Task{{Kernel: k}}
-			fast := runCapture(t, tasks, 1, mk, mask, true)
-			legacy := runCapture(t, tasks, 1, mk, mask, false)
+			fast := runCapture(t, tasks, 1, mk, mask, true, 1)
+			legacy := runCapture(t, tasks, 1, mk, mask, false, 1)
 			compareCaptures(t, fast, legacy)
 		})
 	}
@@ -194,8 +196,8 @@ func TestFastForwardByteIdenticalMonitorMulti(t *testing.T) {
 		return policy.Multi{policy.NewStaticBlocks(4), policy.NewMonitor()}
 	}
 	tasks := []gpu.Task{{Kernel: k}}
-	fast := runCapture(t, tasks, 2, mk, telemetry.MaskSpans, true)
-	legacy := runCapture(t, tasks, 2, mk, telemetry.MaskSpans, false)
+	fast := runCapture(t, tasks, 2, mk, telemetry.MaskSpans, true, 1)
+	legacy := runCapture(t, tasks, 2, mk, telemetry.MaskSpans, false, 1)
 	compareCaptures(t, fast, legacy)
 }
 
@@ -217,8 +219,8 @@ func TestFastForwardByteIdenticalConcurrent(t *testing.T) {
 		e.Record = true
 		return e
 	}
-	fast := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true)
-	legacy := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, false)
+	fast := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true, 1)
+	legacy := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, false, 1)
 	compareCaptures(t, fast, legacy)
 }
 
@@ -232,7 +234,7 @@ func TestFastForwardByteIdenticalNilPolicy(t *testing.T) {
 	}
 	k.GridBlocks = 30
 	tasks := []gpu.Task{{Kernel: k}}
-	fast := runCapture(t, tasks, 2, nil, telemetry.MaskSpans, true)
-	legacy := runCapture(t, tasks, 2, nil, telemetry.MaskSpans, false)
+	fast := runCapture(t, tasks, 2, nil, telemetry.MaskSpans, true, 1)
+	legacy := runCapture(t, tasks, 2, nil, telemetry.MaskSpans, false, 1)
 	compareCaptures(t, fast, legacy)
 }

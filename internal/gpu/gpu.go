@@ -155,6 +155,17 @@ type Machine struct {
 	// strictly per-cycle legacy loop.
 	fastForward bool
 
+	// Intra-run SM sharding. smShards is the requested worker count
+	// (<=1 = sequential); engine is non-nil only while a sharded invocation
+	// is in flight; stages are the per-SM telemetry stages the engine swaps
+	// in for the run (cached across runs, rebuilt when the bus changes);
+	// shardStats accumulates the engine's scheduling counters over the
+	// machine's lifetime. See shard.go.
+	smShards   int
+	engine     *shardEngine
+	stages     []*telemetry.Bus
+	shardStats ShardStats
+
 	// Kernel launch state: one partition per concurrently running kernel
 	// (a single partition spanning every SM in the common case).
 	parts []partition
@@ -264,6 +275,48 @@ func (m *Machine) SetFastForward(enabled bool) {
 
 // FastForwardEnabled reports whether the fast-path engine is active.
 func (m *Machine) FastForwardEnabled() bool { return m.fastForward }
+
+// SetSMShards sets the intra-run worker count: n > 1 partitions the SMs into
+// n contiguous shards stepped by concurrent workers under a phase barrier,
+// with results byte-identical to the sequential loop at any count (see
+// shard.go). Values are clamped to [1, NumSMs]; use AutoShards to derive a
+// count from the host. Call between runs, not mid-invocation. Runs whose
+// policy installs per-SM observation hooks (CCWS) fall back to sequential
+// stepping regardless of the setting.
+func (m *Machine) SetSMShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(m.sms) {
+		n = len(m.sms)
+	}
+	m.smShards = n
+}
+
+// SMShards returns the configured intra-run worker count (1 = sequential).
+func (m *Machine) SMShards() int {
+	if m.smShards < 1 {
+		return 1
+	}
+	return m.smShards
+}
+
+// ShardStats returns the shard engine's accumulated scheduling counters.
+// Shards reports the effective worker count of the most recent run.
+func (m *Machine) ShardStats() ShardStats { return m.shardStats }
+
+// ensureStages builds (or rebuilds, after an AttachTelemetry change) the
+// per-SM telemetry stages the shard engine swaps in during a sharded run.
+// With a nil bus every stage is nil, which every bus method tolerates.
+func (m *Machine) ensureStages() {
+	if len(m.stages) == len(m.sms) && m.stages[0].Parent() == m.bus {
+		return
+	}
+	m.stages = m.stages[:0]
+	for range m.sms {
+		m.stages = append(m.stages, telemetry.NewStage(m.bus))
+	}
+}
 
 // Config returns the hardware configuration.
 func (m *Machine) Config() config.GPU { return m.cfg }
@@ -500,6 +553,39 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 		}
 	}
 
+	// Decide the stepping engine for this run. A policy that installed
+	// observation hooks during Reset (CCWS's issue filter and L1 listener)
+	// may share state across SMs, so any observed SM forces the sequential
+	// loop; the check runs here, after Reset, for exactly that reason.
+	shards := m.SMShards()
+	if shards > 1 {
+		for _, s := range m.sms {
+			if s.Observed() {
+				shards = 1
+				m.shardStats.SequentialRuns++
+				break
+			}
+		}
+	}
+	m.shardStats.Shards = shards
+	if shards > 1 {
+		m.ensureStages()
+		for i, s := range m.sms {
+			s.SetProbe(m.stages[i])
+		}
+		m.engine = newShardEngine(m, shards)
+		defer func() {
+			m.shardStats.Barriers += m.engine.barriers
+			m.shardStats.StepCycles += m.engine.stepCycles
+			m.shardStats.FastForwardCycles += m.engine.ffCycles
+			m.engine.stop()
+			m.engine = nil
+			for _, s := range m.sms {
+				s.SetProbe(m.bus)
+			}
+		}()
+	}
+
 	startPS := int64(m.smDomain.Next())
 	for p := range m.parts {
 		m.bus.Emit(startPS, telemetry.KindKernelBegin, int16(p),
@@ -542,10 +628,14 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 			smCycle++
 			period := m.smDomain.CyclesToTime(1)
 			active := 0
-			for _, s := range m.sms {
-				s.Step(now, period)
-				if s.ResidentBlocks() > 0 {
-					active++
+			if m.engine != nil {
+				active = m.engine.dispatch(shardJob{kind: shardJobStep, now: now, period: period})
+			} else {
+				for _, s := range m.sms {
+					s.Step(now, period)
+					if s.ResidentBlocks() > 0 {
+						active++
+					}
 				}
 			}
 			m.activeSMTimePS += int64(period) * int64(active)
@@ -700,13 +790,23 @@ func (m *Machine) doneWouldChange() bool {
 func (m *Machine) fastForwardSpan(smNext, memNext clock.Time, smCycle int64, aware FastForwardAware) int64 {
 	// Every SM must be quiescent; w is the earliest state-changing event.
 	w := int64(math.MaxInt64)
-	for _, s := range m.sms {
-		at, ok := s.NextEventAt()
+	if m.engine != nil {
+		// Sharded runs reduce shard by shard; the scan itself stays on the
+		// coordinator (every SM is at the phase barrier, reads are cheap).
+		at, ok := m.engine.nextEventReduce()
 		if !ok {
 			return 0
 		}
-		if at < w {
-			w = at
+		w = at
+	} else {
+		for _, s := range m.sms {
+			at, ok := s.NextEventAt()
+			if !ok {
+				return 0
+			}
+			if at < w {
+				w = at
+			}
 		}
 	}
 	if w <= int64(smNext) {
@@ -776,10 +876,16 @@ func (m *Machine) applyFastForward(n int64, firstPS, smCycle int64, aware FastFo
 	period := int64(m.smDomain.CyclesToTime(1))
 	m.smDomain.TickN(n)
 	active := 0
-	for _, s := range m.sms {
-		s.FastForward(n, firstPS, period)
-		if s.ResidentBlocks() > 0 {
-			active++
+	if m.engine != nil {
+		active = m.engine.dispatch(shardJob{
+			kind: shardJobFastForward, period: clock.Time(period), n: n, firstPS: firstPS,
+		})
+	} else {
+		for _, s := range m.sms {
+			s.FastForward(n, firstPS, period)
+			if s.ResidentBlocks() > 0 {
+				active++
+			}
 		}
 	}
 	m.activeSMTimePS += period * int64(active) * n

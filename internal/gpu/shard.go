@@ -1,0 +1,226 @@
+// Intra-run SM parallelism: the shard engine partitions the machine's SMs
+// across worker goroutines that step their shard for one cycle (or retire a
+// fast-forward span) and meet at a phase barrier before any shared work runs.
+//
+// Legality: SMs interact only through the icnt/L2/DRAM boundary, which the
+// machine steps on the separately clocked memory domain, and through the
+// telemetry bus. Within one SM-domain cycle, SM.Step touches nothing but the
+// SM's own state (warp contexts, L1, calendars, outbox) — the memory domain,
+// block dispatch, policy hooks and the done check all run after the barrier
+// on the coordinating goroutine, exactly where the sequential loop runs them.
+// Telemetry is the one shared sink: each SM emits into a private stage that
+// the coordinator flushes in SM index order at the barrier, reproducing the
+// sequential loop's event interleaving byte for byte (see telemetry.NewStage).
+// Results are therefore identical at any shard count; the differential suite
+// in shard_test.go holds the engine to that.
+package gpu
+
+import (
+	"runtime"
+	"sync"
+
+	"equalizer/internal/clock"
+)
+
+// shardJobKind selects the phase a dispatch runs on every shard.
+type shardJobKind uint8
+
+const (
+	// shardJobStep advances every SM in the shard by one cycle.
+	shardJobStep shardJobKind = iota
+	// shardJobFastForward retires a quiescent span on every SM in the shard.
+	shardJobFastForward
+)
+
+// shardJob is one phase-barrier work item, broadcast to every worker.
+type shardJob struct {
+	kind    shardJobKind
+	now     clock.Time // cycle boundary (shardJobStep)
+	period  clock.Time // SM clock period
+	n       int64      // span length (shardJobFastForward)
+	firstPS int64      // first skipped boundary (shardJobFastForward)
+}
+
+// shardSlot is one worker's result cell, padded so concurrently written
+// slots never share a cache line.
+type shardSlot struct {
+	active int // SMs in the shard with resident blocks
+	_      [120]byte
+}
+
+// ShardStats reports the shard engine's scheduling counters for one machine.
+type ShardStats struct {
+	// Shards is the configured shard count (1 = sequential engine).
+	Shards int
+	// Barriers counts phase-barrier rounds (one per parallel dispatch).
+	Barriers uint64
+	// StepCycles counts SM-cycles advanced through shardJobStep dispatches,
+	// summed over shards.
+	StepCycles uint64
+	// FastForwardCycles counts SM-cycles retired in bulk through
+	// shardJobFastForward dispatches, summed over shards.
+	FastForwardCycles uint64
+	// SequentialRuns counts invocations that fell back to the sequential
+	// loop despite a shard request (policy hooks observing the SMs).
+	SequentialRuns uint64
+}
+
+// shardEngine owns the worker pool of one sharded invocation. It is created
+// at run start and stopped when the invocation returns; workers block on
+// their job channel between phases, and the coordinator's WaitGroup round
+// trip is the phase barrier (and the happens-before edge that hands the SM
+// state back to the coordinator).
+type shardEngine struct {
+	m      *Machine
+	ranges [][2]int // SM index range [lo, hi) per shard
+	jobs   []chan shardJob
+	slots  []shardSlot
+	wg     sync.WaitGroup
+
+	barriers   uint64
+	stepCycles uint64
+	ffCycles   uint64
+}
+
+// shardRanges splits n SMs into k contiguous, near-even ranges.
+func shardRanges(n, k int) [][2]int {
+	ranges := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		ranges[i] = [2]int{i * n / k, (i + 1) * n / k}
+	}
+	return ranges
+}
+
+// newShardEngine starts one worker goroutine per shard. The caller owns
+// calling stop before the machine is stepped by anyone else.
+func newShardEngine(m *Machine, shards int) *shardEngine {
+	e := &shardEngine{
+		m:      m,
+		ranges: shardRanges(len(m.sms), shards),
+		jobs:   make([]chan shardJob, shards),
+		slots:  make([]shardSlot, shards),
+	}
+	for w := range e.jobs {
+		e.jobs[w] = make(chan shardJob, 1)
+		//eqlint:allow nodeterminism -- workers mutate disjoint SM ranges between phase barriers; every merge below is in fixed shard order
+		go e.worker(w)
+	}
+	return e
+}
+
+// stop terminates the workers. The engine must be idle (no dispatch in
+// flight).
+func (e *shardEngine) stop() {
+	for _, ch := range e.jobs {
+		close(ch)
+	}
+}
+
+// worker steps the SMs of shard w, in index order, for every dispatched job.
+func (e *shardEngine) worker(w int) {
+	lo, hi := e.ranges[w][0], e.ranges[w][1]
+	for job := range e.jobs[w] {
+		active := 0
+		switch job.kind {
+		case shardJobStep:
+			for i := lo; i < hi; i++ {
+				s := e.m.sms[i]
+				s.Step(job.now, job.period)
+				if s.ResidentBlocks() > 0 {
+					active++
+				}
+			}
+		case shardJobFastForward:
+			for i := lo; i < hi; i++ {
+				s := e.m.sms[i]
+				s.FastForward(job.n, job.firstPS, int64(job.period))
+				if s.ResidentBlocks() > 0 {
+					active++
+				}
+			}
+		}
+		e.slots[w].active = active
+		e.wg.Done()
+	}
+}
+
+// dispatch broadcasts one job, waits at the phase barrier, and returns the
+// machine-wide count of SMs with resident blocks. On return every SM
+// mutation made by the workers is visible to the coordinator. This is the
+// sharded loop's canonical cycle-advance site: the engine's step/ff cycle
+// tallies move only here.
+//
+//eqlint:cycle-owner
+func (e *shardEngine) dispatch(job shardJob) int {
+	// Stage every SM's telemetry before the workers run and flush in SM
+	// index order after the barrier: concurrent emission never touches the
+	// shared ring, and the replay order is the sequential loop's.
+	for _, st := range e.m.stages {
+		st.Buffer()
+	}
+	e.wg.Add(len(e.jobs))
+	for _, ch := range e.jobs {
+		//eqlint:allow nodeterminism -- phase-barrier broadcast; the WaitGroup round trip below serialises all effects before the coordinator resumes
+		ch <- job
+	}
+	e.wg.Wait()
+	e.barriers++
+	cycles := uint64(len(e.m.sms))
+	if job.kind == shardJobFastForward {
+		cycles *= uint64(job.n)
+		e.ffCycles += cycles
+	} else {
+		e.stepCycles += cycles
+	}
+	for _, st := range e.m.stages {
+		st.Flush()
+	}
+	active := 0
+	for w := range e.slots {
+		active += e.slots[w].active
+	}
+	return active
+}
+
+// nextEventReduce computes the machine-wide quiescence witness as a
+// per-shard minimum reduction: the earliest NextEventAt over every SM, or
+// ok=false as soon as any SM cannot fast-forward. Runs on the coordinator —
+// the reads are cheap and every SM is quiescent at a phase barrier — but
+// reduces shard by shard so the merge order is fixed regardless of shard
+// geometry (min is order-independent; the shape documents the contract).
+func (e *shardEngine) nextEventReduce() (int64, bool) {
+	w := int64(0)
+	first := true
+	for _, r := range e.ranges {
+		for i := r[0]; i < r[1]; i++ {
+			at, ok := e.m.sms[i].NextEventAt()
+			if !ok {
+				return 0, false
+			}
+			if first || at < w {
+				w, first = at, false
+			}
+		}
+	}
+	return w, true
+}
+
+// AutoShards picks a default shard count for one machine: the cores left
+// after dividing the host among `parallelism` concurrent simulations, capped
+// at the SM count. Callers running one simulation at a time (eqsim, the
+// engine benchmark) pass parallelism 1 and get min(GOMAXPROCS, numSMs);
+// a saturated worker pool (eqsimd, eqbench sweeps) gets 1 so intra-run
+// workers never oversubscribe the pool's cores.
+func AutoShards(parallelism, numSMs int) int {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	shards := runtime.GOMAXPROCS(0) / parallelism
+	if shards > numSMs {
+		shards = numSMs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}

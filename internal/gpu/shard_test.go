@@ -1,0 +1,234 @@
+package gpu_test
+
+import (
+	"testing"
+
+	"equalizer/internal/config"
+	"equalizer/internal/core"
+	"equalizer/internal/gpu"
+	"equalizer/internal/kernels"
+	"equalizer/internal/policy"
+	"equalizer/internal/power"
+	"equalizer/internal/telemetry"
+)
+
+// The shard engine's contract is the same byte-identity the fast-forward
+// engine is held to: at any shard count, a run must produce the same Result,
+// the same telemetry event stream (Chrome trace bytes included) and the same
+// per-epoch Equalizer decisions as the sequential loop. These tests sweep
+// shard counts against a shards=1 baseline under both cycle engines, reusing
+// the capture/compare harness from fastforward_test.go. The CI race job runs
+// this file under -race, which also proves the phase barrier publishes every
+// worker-side SM mutation.
+
+// shardCounts is the differential sweep axis: the smallest parallel split,
+// an uneven split of 15 SMs, and the one-SM-per-worker extreme.
+func shardCounts(numSMs int) []int { return []int{2, 4, numSMs} }
+
+// TestShardedByteIdentical sweeps shard counts × cycle engines under the
+// Equalizer runtime on a compute-bound and a memory-bound kernel.
+func TestShardedByteIdentical(t *testing.T) {
+	numSMs := config.Default().NumSMs
+	for _, name := range []string{"cutcp", "lbm"} {
+		for _, ff := range []bool{true, false} {
+			name, ff := name, ff
+			suffix := "legacy"
+			if ff {
+				suffix = "fast"
+			}
+			t.Run(name+"/"+suffix, func(t *testing.T) {
+				t.Parallel()
+				k, err := kernels.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k.GridBlocks = 30
+				mk := func() gpu.Policy {
+					e := core.New(core.EnergyMode)
+					e.Record = true
+					return e
+				}
+				tasks := []gpu.Task{{Kernel: k}}
+				seq := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, ff, 1)
+				for _, shards := range shardCounts(numSMs) {
+					sharded := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, ff, shards)
+					compareCaptures(t, sharded, seq)
+					if t.Failed() {
+						t.Fatalf("sharded run (shards=%d) diverged from sequential", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedByteIdenticalCensusMask compares sharded runs that record the
+// per-cycle stall census and warp issues — the highest-volume telemetry,
+// where per-SM stage buffering must reproduce the sequential loop's exact
+// SM-order interleaving, ring wrap and drop accounting included.
+func TestShardedByteIdenticalCensusMask(t *testing.T) {
+	mask := telemetry.MaskSpans | telemetry.MaskOf(telemetry.KindStallCensus, telemetry.KindWarpIssue)
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.GridBlocks = 30
+	mk := func() gpu.Policy { return core.New(core.PerformanceMode) }
+	tasks := []gpu.Task{{Kernel: k}}
+	for _, ff := range []bool{true, false} {
+		seq := runCapture(t, tasks, 1, mk, mask, ff, 1)
+		for _, shards := range shardCounts(config.Default().NumSMs) {
+			sharded := runCapture(t, tasks, 1, mk, mask, ff, shards)
+			compareCaptures(t, sharded, seq)
+			if t.Failed() {
+				t.Fatalf("census-mask sharded run (shards=%d, ff=%v) diverged", shards, ff)
+			}
+		}
+	}
+}
+
+// TestShardedByteIdenticalConcurrent compares a concurrent two-kernel run:
+// kernel partitions and shard ranges split the SMs along different
+// boundaries, so a shard may hold SMs of both partitions.
+func TestShardedByteIdenticalConcurrent(t *testing.T) {
+	kc, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := kernels.ByName("cfd-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc.GridBlocks, km.GridBlocks = 24, 24
+	tasks := []gpu.Task{{Kernel: kc}, {Kernel: km}}
+	mk := func() gpu.Policy {
+		e := core.New(core.EnergyMode)
+		e.Record = true
+		return e
+	}
+	seq := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true, 1)
+	for _, shards := range shardCounts(config.Default().NumSMs) {
+		sharded := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true, shards)
+		compareCaptures(t, sharded, seq)
+		if t.Failed() {
+			t.Fatalf("concurrent sharded run (shards=%d) diverged", shards)
+		}
+	}
+}
+
+// TestShardedCCWSFallsBackSequential verifies the safety valve: CCWS installs
+// per-SM observation hooks whose locality scoring shares policy state, so a
+// shard request must quietly fall back to the sequential loop — and still
+// produce identical output.
+func TestShardedCCWSFallsBackSequential(t *testing.T) {
+	k, err := kernels.ByName("kmn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.GridBlocks = 30
+	mk := func() gpu.Policy { return policy.NewCCWS() }
+	tasks := []gpu.Task{{Kernel: k}}
+	seq := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true, 1)
+	sharded := runCapture(t, tasks, 1, mk, telemetry.MaskSpans, true, 4)
+	compareCaptures(t, sharded, seq)
+}
+
+// TestShardStatsAccumulate verifies the scheduling counters: a sharded run
+// records barrier rounds and step/fast-forward cycles, and the CCWS fallback
+// is counted.
+func TestShardStatsAccumulate(t *testing.T) {
+	k, err := kernels.ByName("cutcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.GridBlocks = 30
+
+	m := newTestMachine(t, nil)
+	m.SetSMShards(4)
+	if got := m.SMShards(); got != 4 {
+		t.Fatalf("SMShards = %d, want 4", got)
+	}
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := m.ShardStats()
+	if ss.Shards != 4 {
+		t.Errorf("ShardStats.Shards = %d, want 4", ss.Shards)
+	}
+	if ss.Barriers == 0 {
+		t.Error("sharded run recorded no barrier rounds")
+	}
+	total := int64(ss.StepCycles + ss.FastForwardCycles)
+	if want := res.SMCycles * int64(m.NumSMs()); total != want {
+		t.Errorf("shard cycles %d != SMCycles*NumSMs %d", total, want)
+	}
+	if ss.SequentialRuns != 0 {
+		t.Errorf("unexpected sequential fallback: %d", ss.SequentialRuns)
+	}
+
+	// CCWS forces the fallback and counts it.
+	mc := newTestMachine(t, policy.NewCCWS())
+	mc.SetSMShards(4)
+	if _, err := mc.RunKernel(k, 0); err != nil {
+		t.Fatal(err)
+	}
+	cs := mc.ShardStats()
+	if cs.Shards != 1 {
+		t.Errorf("CCWS run effective shards = %d, want 1", cs.Shards)
+	}
+	if cs.SequentialRuns != 1 {
+		t.Errorf("CCWS run SequentialRuns = %d, want 1", cs.SequentialRuns)
+	}
+	if cs.Barriers != 0 {
+		t.Errorf("sequential fallback still crossed %d barriers", cs.Barriers)
+	}
+}
+
+// TestAutoShards pins the oversubscription contract: a saturated worker pool
+// gets sequential machines, a lone simulation gets the host (capped at the
+// SM count), and degenerate inputs clamp to 1.
+func TestAutoShards(t *testing.T) {
+	for _, tc := range []struct {
+		parallelism, numSMs, gomaxprocs, want int
+	}{
+		{1, 15, 8, 8},
+		{1, 15, 32, 15},
+		{8, 15, 8, 1},
+		{4, 15, 8, 2},
+		{3, 15, 8, 2},
+		{16, 15, 8, 1},
+		{1, 1, 8, 1},
+	} {
+		if got := autoShardsFor(tc.parallelism, tc.numSMs, tc.gomaxprocs); got != tc.want {
+			t.Errorf("AutoShards(parallelism=%d, numSMs=%d) at GOMAXPROCS=%d = %d, want %d",
+				tc.parallelism, tc.numSMs, tc.gomaxprocs, got, tc.want)
+		}
+	}
+}
+
+// autoShardsFor mirrors gpu.AutoShards with an explicit core count so the
+// table is host-independent.
+func autoShardsFor(parallelism, numSMs, cores int) int {
+	if parallelism < 1 {
+		parallelism = cores
+	}
+	shards := cores / parallelism
+	if shards > numSMs {
+		shards = numSMs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// newTestMachine builds a default machine with pol.
+func newTestMachine(t *testing.T, pol gpu.Policy) *gpu.Machine {
+	t.Helper()
+	m, err := gpu.New(config.Default(), power.Default(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

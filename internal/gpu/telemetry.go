@@ -121,6 +121,18 @@ func (m *Machine) Collect(reg *telemetry.Registry) {
 			telemetry.Labels{"domain": "mem", "level": name}).Set(uint64(res.Mem[i]))
 	}
 
+	ss := m.shardStats
+	reg.Gauge("eq_shard_workers", "effective intra-run SM shard count of the last run",
+		nil).Set(float64(ss.Shards))
+	reg.Counter("eq_shard_barrier_waits_total", "phase-barrier rounds completed by the shard engine",
+		nil).Set(ss.Barriers)
+	reg.Counter("eq_shard_cycles_total", "SM cycles stepped by shard workers, by mode",
+		telemetry.Labels{"mode": "step"}).Set(ss.StepCycles)
+	reg.Counter("eq_shard_cycles_total", "SM cycles stepped by shard workers, by mode",
+		telemetry.Labels{"mode": "fastforward"}).Set(ss.FastForwardCycles)
+	reg.Counter("eq_shard_sequential_fallbacks_total", "sharded runs that fell back to the sequential loop (policy observation hooks)",
+		nil).Set(ss.SequentialRuns)
+
 	if m.bus != nil {
 		reg.Counter("eq_probe_events_total", "events retained on the probe bus",
 			nil).Set(uint64(m.bus.Len()))

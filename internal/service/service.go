@@ -35,6 +35,10 @@ type Config struct {
 	GridScale float64
 	// Parallelism is the simulation worker-pool width (0 = GOMAXPROCS).
 	Parallelism int
+	// SMShards is the intra-run SM worker count per machine (0 = auto:
+	// derived from the host so the shard workers never oversubscribe the
+	// Parallelism pool; a saturated pool means sequential machines).
+	SMShards int
 	// QueueDepth bounds how many run cells may wait for a worker beyond
 	// the ones in flight; an arriving request that would exceed it is shed
 	// with 429. 0 means 64; negative means no queueing (admit only up to
@@ -122,6 +126,7 @@ func New(cfg Config) (*Service, error) {
 	s.h = exp.New(exp.Options{
 		GridScale:   cfg.GridScale,
 		Parallelism: cfg.Parallelism,
+		SMShards:    cfg.SMShards,
 		Cache:       cache,
 		Registry:    s.reg,
 		Now:         func() int64 { return int64(time.Since(s.start)) },

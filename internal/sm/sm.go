@@ -120,7 +120,9 @@ func (s Stats) IPC() float64 {
 }
 
 type warpCtx struct {
-	stream  *warp.Stream
+	// stream is embedded by value and re-initialised in place at block
+	// launch, so warp-slot turnover never allocates.
+	stream  warp.Stream
 	block   int // resident block slot
 	cur     warp.Instr
 	hasCur  bool
@@ -337,6 +339,12 @@ func (s *SM) SetIssueFilter(f IssueFilter) { s.filter = f }
 // SetL1Listener installs (or clears, with nil) an L1 activity observer.
 func (s *SM) SetL1Listener(l L1Listener) { s.listener = l }
 
+// Observed reports whether a policy hook (issue filter or L1 listener) is
+// installed. Hooked SMs may share policy state with their siblings — CCWS's
+// locality scoring does — so the machine's shard engine refuses to step them
+// concurrently and falls back to the sequential loop.
+func (s *SM) Observed() bool { return s.filter != nil || s.listener != nil }
+
 // SetProbe wires the SM (and its L1 cache) to a telemetry bus. The SM emits
 // warp-issue events, the per-cycle stall census, block launch/finish and
 // CTA pause/unpause transitions; the L1 emits access and eviction events.
@@ -434,11 +442,9 @@ func (s *SM) LaunchBlock(prof *warp.Profile, globalID, wcta int) {
 	for w := 0; w < wcta; w++ {
 		ws := s.freeWarpSlots[len(s.freeWarpSlots)-1]
 		s.freeWarpSlots = s.freeWarpSlots[:len(s.freeWarpSlots)-1]
-		s.warps[ws] = warpCtx{
-			stream: warp.NewStream(prof, globalID*wcta+w),
-			block:  slot,
-			valid:  true,
-		}
+		wc := &s.warps[ws]
+		*wc = warpCtx{block: slot, valid: true}
+		wc.stream.Init(prof, globalID*wcta+w)
 		b.warps = append(b.warps, ws)
 	}
 	s.residentBlocks++
@@ -1147,7 +1153,9 @@ func (s *SM) Reset(resetStats bool) {
 		s.warps[i] = warpCtx{}
 	}
 	for i := range s.blocks {
-		s.blocks[i] = blockCtx{}
+		// Keep each block slot's warp-list capacity: dropping it here made
+		// the first launches of every invocation re-grow 120 slices per run.
+		s.blocks[i] = blockCtx{warps: s.blocks[i].warps[:0]}
 	}
 	s.freeWarpSlots = s.freeWarpSlots[:0]
 	for i := s.cfg.MaxWarpsPerSM - 1; i >= 0; i-- {

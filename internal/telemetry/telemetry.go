@@ -195,6 +195,18 @@ type Bus struct {
 	head    int // next write index
 	count   int // valid events, <= len(buf)
 	dropped uint64
+
+	// Stage state (nil parent on ordinary buses). A stage forwards every
+	// Emit straight to its parent until Buffer() switches it to staging:
+	// staged events accumulate in emission order and Flush() replays them
+	// into the parent. The machine's shard engine gives each SM a stage so
+	// concurrently stepped SMs never touch the shared ring, then flushes the
+	// stages in SM index order at the phase barrier — reproducing the exact
+	// event interleaving of the sequential loop, ring wrap and drop
+	// accounting included.
+	parent    *Bus
+	buffering bool
+	staged    []Event
 }
 
 // NewBus builds a bus holding up to capacity events of the masked kinds.
@@ -203,6 +215,50 @@ func NewBus(capacity int, mask Mask) *Bus {
 		capacity = 1
 	}
 	return &Bus{mask: mask, buf: make([]Event, capacity)}
+}
+
+// NewStage builds a stage for parent: a bus that records nothing itself but
+// either forwards events to parent immediately (the initial, pass-through
+// mode) or, between Buffer and Flush, holds them for ordered replay. A nil
+// parent yields a nil (permanently disabled) stage.
+func NewStage(parent *Bus) *Bus {
+	if parent == nil {
+		return nil
+	}
+	return &Bus{mask: parent.mask, parent: parent}
+}
+
+// Parent returns the bus a stage forwards to (nil for ordinary buses).
+func (b *Bus) Parent() *Bus {
+	if b == nil {
+		return nil
+	}
+	return b.parent
+}
+
+// Buffer switches a stage to staging mode: subsequent Emits accumulate
+// locally until Flush. No-op on a nil bus or an ordinary (parentless) bus.
+func (b *Bus) Buffer() {
+	if b == nil || b.parent == nil {
+		return
+	}
+	b.buffering = true
+}
+
+// Flush replays a stage's buffered events into its parent in emission order
+// and returns the stage to pass-through mode. The staged slice's capacity is
+// retained, so a stage flushed every cycle stops allocating once it has seen
+// its busiest cycle. No-op on a nil bus or an ordinary bus.
+func (b *Bus) Flush() {
+	if b == nil || b.parent == nil {
+		return
+	}
+	b.buffering = false
+	for i := range b.staged {
+		e := &b.staged[i]
+		b.parent.Emit(e.TimePS, e.Kind, e.Src, e.A, e.B)
+	}
+	b.staged = b.staged[:0]
 }
 
 // Enabled reports whether events of kind k would be recorded. Components
@@ -216,6 +272,18 @@ func (b *Bus) Enabled(k Kind) bool {
 // instrumented component runs through here.
 func (b *Bus) Emit(timePS int64, k Kind, src int16, a, v int64) {
 	if b == nil || !b.mask.Has(k) {
+		return
+	}
+	if b.parent != nil {
+		if b.buffering {
+			// A staging append is unreachable on the disabled path (nil/mask
+			// returned above) and amortized: Flush retains the slice capacity,
+			// so a stage stops allocating after its busiest cycle.
+			//eqlint:allow probehygiene -- staging only runs enabled+buffering; capacity is retained across Flush
+			b.staged = append(b.staged, Event{TimePS: timePS, Kind: k, Src: src, A: a, B: v})
+			return
+		}
+		b.parent.Emit(timePS, k, src, a, v)
 		return
 	}
 	e := &b.buf[b.head]
@@ -280,4 +348,6 @@ func (b *Bus) Reset() {
 		return
 	}
 	b.head, b.count, b.dropped = 0, 0, 0
+	b.buffering = false
+	b.staged = b.staged[:0]
 }

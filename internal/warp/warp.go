@@ -234,7 +234,17 @@ type Stream struct {
 // NewStream builds the instruction stream of the warp with the given
 // grid-unique id.
 func NewStream(prof *Profile, globalID int) *Stream {
-	return &Stream{prof: prof, globalID: globalID + prof.WarpIDOffset}
+	s := &Stream{}
+	s.Init(prof, globalID)
+	return s
+}
+
+// Init (re)initialises s in place as the stream of the warp with the given
+// grid-unique id, equivalent to *s = *NewStream(prof, globalID) without the
+// allocation. The SM embeds streams by value in its warp slots and reuses
+// them across block launches, keeping warp-slot turnover off the heap.
+func (s *Stream) Init(prof *Profile, globalID int) {
+	*s = Stream{prof: prof, globalID: globalID + prof.WarpIDOffset}
 }
 
 // Done reports whether the stream has emitted EXIT.
