@@ -12,6 +12,13 @@
 // harness — is small. Should the module ever vendor x/tools, the analyzers
 // port mechanically: Run signatures and reporting semantics match.
 //
+// Analyzers come in two shapes. Per-package analyzers implement Run and see
+// one type-checked package at a time. Module analyzers implement RunModule
+// and see every loaded package at once through a Module, which carries a
+// conservative call graph (see callgraph.go) and an exported-facts store —
+// the x/tools Fact idea — so cross-package properties like shard-phase
+// safety and hot-path allocation-freedom are checkable.
+//
 // # Suppression directives
 //
 //	//eqlint:allow <analyzer>[,<analyzer>...] [-- reason]
@@ -21,13 +28,23 @@
 // e.g. the experiment harness's worker pool is allowed goroutines because
 // its singleflight memo makes result aggregation order-independent — and
 // should always carry a reason. The errstrict analyzer additionally honours
-// the conventional //nolint:errcheck form.
+// the conventional //nolint:errcheck form. Allow directives naming an
+// unknown analyzer are themselves flagged (a typo would otherwise suppress
+// nothing, silently), and directives that suppressed nothing are reported
+// under eqlint -strict-directives.
 //
-// Two more directives mark blessed code rather than suppressing findings:
+// Five more directives mark blessed code rather than suppressing findings:
 //
 //	//eqlint:cycle-owner   on a function: it may mutate cycle/epoch counters
 //	//eqlint:emitpath      on a function: it is a telemetry emit path and
 //	                       must not allocate
+//	//eqlint:hotpath       on a function: it is a steady-state hot path;
+//	                       allocfree checks everything reachable from it
+//	//eqlint:shardroot     on a function: it runs on a shard-worker
+//	                       goroutine; shardphase checks everything reachable
+//	                       from it
+//	//eqlint:barrierphase  on a function: it runs only on the coordinator
+//	                       between phase barriers and may touch shared state
 //	eqlint:nilsafe         in a type's doc comment: every pointer-receiver
 //	                       method must begin with a receiver nil check
 package analysis
@@ -42,17 +59,23 @@ import (
 )
 
 // Analyzer is one static check. The subset of the x/tools contract used
-// here: a name, documentation, and a Run function invoked once per package.
+// here: a name, documentation, and a Run function invoked once per package —
+// or, for cross-package checks, a RunModule function invoked once per load.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and allow directives.
 	Name string
-	// Doc is a one-paragraph description shown by `eqlint -help`.
+	// Doc is a one-paragraph description shown by `eqlint -list`.
 	Doc string
 	// Scope restricts the analyzer to packages for which it returns true;
 	// nil means every package. The driver applies Scope; tests bypass it.
+	// Module analyzers ignore Scope (their roots are directive-marked).
 	Scope func(pkgPath string) bool
 	// Run analyzes one package and reports findings through the pass.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass) error
+	// RunModule analyzes every loaded package at once; set for analyzers
+	// that need the cross-package call graph.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -73,9 +96,11 @@ type Diagnostic struct {
 	Message  string
 }
 
-// String renders the diagnostic in the conventional compiler format.
+// String renders the diagnostic in the conventional compiler format,
+// file:line:col: analyzer: message, so editors and CI problem matchers can
+// parse it.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
 // Reportf records a finding at pos.
@@ -107,8 +132,13 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 
 // RunAnalyzer executes one analyzer over a loaded package and returns its
 // diagnostics with suppression directives already applied, sorted by
-// position.
+// position. A module analyzer is run over a single-package module, which is
+// what the analysistest harness needs; the eqlint driver runs module
+// analyzers once over the whole load via RunModuleAnalyzer instead.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.RunModule != nil {
+		return RunModuleAnalyzer(a, NewModule([]*Package{pkg}))
+	}
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -119,10 +149,9 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
 	}
-	allowed := collectAllowedLines(pkg)
 	out := pass.diags[:0]
 	for _, d := range pass.diags {
-		if allowed.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
+		if pkg.allows().allows(d.Pos.Filename, d.Pos.Line, a.Name) {
 			continue
 		}
 		out = append(out, d)
@@ -130,6 +159,10 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	sortDiagnostics(out)
 	return out, nil
 }
+
+// SortDiagnostics orders diagnostics by (file, line, column, analyzer,
+// message) — the canonical deterministic output order of the driver.
+func SortDiagnostics(ds []Diagnostic) { sortDiagnostics(ds) }
 
 func sortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
@@ -143,6 +176,9 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		return a.Message < b.Message
 	})
 }
@@ -153,43 +189,87 @@ type allowKey struct {
 	line int
 }
 
-// allowSet maps suppressed lines to the analyzer names they suppress;
-// the special name "*" suppresses every analyzer.
-type allowSet map[allowKey]map[string]bool
+// allowDirective is one parsed suppression comment. The used map records
+// which of its analyzer names actually suppressed a finding, feeding the
+// unused-directive report. Usage marking is not synchronized: the driver
+// runs all analyzers for one package on one worker and module analyzers
+// after the join, so a directive is never marked concurrently.
+type allowDirective struct {
+	file string
+	// line is the line of the comment itself; the directive also covers the
+	// line immediately after its comment group (preceding placement).
+	line int
+	// names are the analyzer names the directive suppresses; "*" means all.
+	names []string
+	// eqlint is true for //eqlint:allow forms (whose names are validated)
+	// and false for //nolint compatibility forms.
+	eqlint bool
+	used   map[string]bool
+}
 
-func (s allowSet) allows(file string, line int, analyzer string) bool {
-	names := s[allowKey{file, line}]
-	return names != nil && (names[analyzer] || names["*"])
+// allowSet indexes a package's suppression directives by the lines they
+// cover.
+type allowSet struct {
+	byKey map[allowKey][]*allowDirective
+	list  []*allowDirective
+}
+
+// allows reports whether a diagnostic from the named analyzer at file:line
+// is suppressed, marking every directive that matches as used.
+func (s *allowSet) allows(file string, line int, analyzer string) bool {
+	ok := false
+	for _, d := range s.byKey[allowKey{file, line}] {
+		for _, n := range d.names {
+			if n == analyzer || n == "*" {
+				d.used[n] = true
+				ok = true
+			}
+		}
+	}
+	return ok
+}
+
+// merge returns an allowSet covering every package in pkgs, sharing the
+// underlying directives so usage marking feeds the same unused report.
+func mergeAllowSets(pkgs []*Package) *allowSet {
+	merged := &allowSet{byKey: map[allowKey][]*allowDirective{}}
+	for _, pkg := range pkgs {
+		s := pkg.allows()
+		for k, ds := range s.byKey {
+			merged.byKey[k] = append(merged.byKey[k], ds...)
+		}
+		merged.list = append(merged.list, s.list...)
+	}
+	return merged
 }
 
 // collectAllowedLines scans every comment of the package for suppression
 // directives. A directive suppresses the line it sits on; a directive whose
 // comment group occupies its own line(s) also suppresses the line after the
 // group, so both trailing and preceding placements work.
-func collectAllowedLines(pkg *Package) allowSet {
-	set := allowSet{}
-	add := func(file string, line int, names []string) {
-		k := allowKey{file, line}
-		m := set[k]
-		if m == nil {
-			m = map[string]bool{}
-			set[k] = m
-		}
-		for _, n := range names {
-			m[n] = true
-		}
-	}
+func collectAllowedLines(pkg *Package) *allowSet {
+	set := &allowSet{byKey: map[allowKey][]*allowDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names := parseAllowDirective(c.Text)
+				names, eqlint := parseAllowDirective(c.Text)
 				if names == nil {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				end := pkg.Fset.Position(cg.End())
-				add(pos.Filename, pos.Line, names)
-				add(pos.Filename, end.Line+1, names)
+				d := &allowDirective{
+					file:   pos.Filename,
+					line:   pos.Line,
+					names:  names,
+					eqlint: eqlint,
+					used:   map[string]bool{},
+				}
+				set.list = append(set.list, d)
+				set.byKey[allowKey{pos.Filename, pos.Line}] = append(set.byKey[allowKey{pos.Filename, pos.Line}], d)
+				if end.Line+1 != pos.Line {
+					set.byKey[allowKey{pos.Filename, end.Line + 1}] = append(set.byKey[allowKey{pos.Filename, end.Line + 1}], d)
+				}
 			}
 		}
 	}
@@ -197,14 +277,20 @@ func collectAllowedLines(pkg *Package) allowSet {
 }
 
 // parseAllowDirective extracts analyzer names from a suppression comment, or
-// nil when the comment is not one. Recognised forms:
+// nil when the comment is not one; eqlint reports whether the comment is the
+// native //eqlint:allow form. Recognised forms:
 //
 //	//eqlint:allow name1,name2 -- reason
 //	//nolint:errcheck           (errcheck compatibility, maps to errstrict)
-func parseAllowDirective(text string) []string {
+func parseAllowDirective(text string) (names []string, eqlint bool) {
 	switch {
 	case strings.HasPrefix(text, "//eqlint:allow"):
 		rest := strings.TrimPrefix(text, "//eqlint:allow")
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			// Another directive sharing the prefix (hypothetical
+			// //eqlint:allowfoo), not an allow.
+			return nil, false
+		}
 		if reason := strings.Index(rest, "--"); reason >= 0 {
 			rest = rest[:reason]
 		}
@@ -212,9 +298,9 @@ func parseAllowDirective(text string) []string {
 			return r == ',' || r == ' ' || r == '\t'
 		})
 		if len(fields) == 0 {
-			return []string{"*"}
+			return []string{"*"}, true
 		}
-		return fields
+		return fields, true
 	case strings.HasPrefix(text, "//nolint:"):
 		rest := strings.TrimPrefix(text, "//nolint:")
 		if i := strings.IndexAny(rest, " \t/"); i >= 0 {
@@ -222,11 +308,11 @@ func parseAllowDirective(text string) []string {
 		}
 		for _, n := range strings.Split(rest, ",") {
 			if n == "errcheck" {
-				return []string{"errstrict"}
+				return []string{"errstrict"}, false
 			}
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // funcHasDirective reports whether the function declaration carries the
@@ -236,8 +322,10 @@ func funcHasDirective(decl *ast.FuncDecl, directive string) bool {
 		return false
 	}
 	for _, c := range decl.Doc.List {
-		if strings.HasPrefix(c.Text, "//eqlint:"+directive) {
-			return true
+		if rest, ok := strings.CutPrefix(c.Text, "//eqlint:"+directive); ok {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
 		}
 	}
 	return false

@@ -17,6 +17,8 @@ func TestAnalyzers(t *testing.T) {
 		{CycleAccounting, "cycleaccounting"},
 		{ProbeHygiene, "probehygiene"},
 		{ErrStrict, "errstrict"},
+		{ShardPhase, "shardphase"},
+		{AllocFree, "allocfree"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -9,7 +9,17 @@ import (
 // All returns every registered analyzer in deterministic order; the eqlint
 // multichecker runs exactly this set.
 func All() []*Analyzer {
-	return []*Analyzer{CycleAccounting, ErrStrict, NoDeterminism, ProbeHygiene}
+	return []*Analyzer{AllocFree, CycleAccounting, ErrStrict, NoDeterminism, ProbeHygiene, ShardPhase}
+}
+
+// AllNames returns the set of valid analyzer names, for directive
+// validation.
+func AllNames() map[string]bool {
+	names := make(map[string]bool, len(All()))
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // ByName resolves analyzer names (comma-separated) to analyzers.

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineFile is the conventional name of the committed baseline at the
+// module root. The eqlint driver loads it automatically when present, so
+// new analyzers land strict-on-new-code while legacy findings burn down
+// explicitly — and the CI guard asserts the file only ever shrinks.
+const BaselineFile = ".eqlint-baseline.json"
+
+// Finding is one diagnostic in machine-readable form. File is
+// module-relative with forward slashes so reports and baselines are
+// portable across checkouts.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Report is the JSON document produced by `eqlint -format json` and stored
+// in the baseline file — one schema, so the output round-trips through the
+// baseline loader by construction.
+type Report struct {
+	// Version guards the schema.
+	Version int `json:"version"`
+	// Findings are sorted by (file, line, col, analyzer, message).
+	Findings []Finding `json:"findings"`
+}
+
+// ReportVersion is the current report schema version.
+const ReportVersion = 1
+
+// NewReport converts diagnostics (whose positions are absolute paths from
+// the loader) into a report with module-relative file paths.
+func NewReport(moduleRoot string, diags []Diagnostic) *Report {
+	r := &Report{Version: ReportVersion, Findings: make([]Finding, 0, len(diags))}
+	for _, d := range diags {
+		r.Findings = append(r.Findings, Finding{
+			File:     relPath(moduleRoot, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sortFindings(r.Findings)
+	return r
+}
+
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport parses a JSON report (or baseline file — same schema).
+func LoadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("analysis: parse report: %w", err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("analysis: report version %d, want %d", r.Version, ReportVersion)
+	}
+	return &r, nil
+}
+
+// baselineKey identifies a finding independent of its line/column, so
+// unrelated edits that shift code do not invalidate the baseline. Messages
+// embed function context, which keeps keys stable and specific.
+type baselineKey struct {
+	file     string
+	analyzer string
+	message  string
+}
+
+// Baseline is a count-aware set of accepted legacy findings.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+// NewBaseline indexes a report for matching.
+func NewBaseline(r *Report) *Baseline {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, f := range r.Findings {
+		b.counts[baselineKey{f.File, f.Analyzer, f.Message}]++
+	}
+	return b
+}
+
+// Filter returns the findings not covered by the baseline. Matching is
+// count-aware: a baseline entry absorbs at most as many identical findings
+// as it recorded, so duplicating a flagged construct surfaces the copy.
+func (b *Baseline) Filter(fs []Finding) []Finding {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	var out []Finding
+	for _, f := range fs {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Size returns the number of baselined findings.
+func (b *Baseline) Size() int {
+	n := 0
+	for _, v := range b.counts {
+		n += v
+	}
+	return n
+}
+
+// DiffAgainst returns a description of every finding (key, count) present
+// in b but absent (or less numerous) in old — the entries that would make
+// the baseline grow. An empty result means b is a subset of old.
+func (b *Baseline) DiffAgainst(old *Baseline) []string {
+	var out []string
+	for k, n := range b.counts {
+		if extra := n - old.counts[k]; extra > 0 {
+			out = append(out, fmt.Sprintf("%s: %s: %s (+%d)", k.file, k.analyzer, k.message, extra))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteSARIF renders the report as minimal SARIF 2.1.0, enough for code
+// scanning UIs: one run, one result per finding, physical locations with
+// region start line/column.
+func (r *Report) WriteSARIF(w io.Writer) error {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifArtifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type sarifPhysicalLocation struct {
+		ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+		Region           sarifRegion           `json:"region"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	type sarifRule struct {
+		ID string `json:"id"`
+	}
+	type sarifDriver struct {
+		Name  string      `json:"name"`
+		Rules []sarifRule `json:"rules"`
+	}
+	type sarifTool struct {
+		Driver sarifDriver `json:"driver"`
+	}
+	type sarifRun struct {
+		Tool    sarifTool     `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}
+	type sarifLog struct {
+		Schema  string     `json:"$schema"`
+		Version string     `json:"version"`
+		Runs    []sarifRun `json:"runs"`
+	}
+
+	ruleSet := map[string]bool{}
+	results := make([]sarifResult, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		ruleSet[f.Analyzer] = true
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	rules := make([]sarifRule, 0, len(ruleSet))
+	for id := range ruleSet {
+		rules = append(rules, sarifRule{ID: id})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "eqlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -27,6 +28,15 @@ type Package struct {
 	// Types and Info are the type-checking results.
 	Types *types.Package
 	Info  *types.Info
+
+	allowOnce sync.Once
+	allowset  *allowSet
+}
+
+// allows returns the package's suppression directives, parsed once.
+func (p *Package) allows() *allowSet {
+	p.allowOnce.Do(func() { p.allowset = collectAllowedLines(p) })
+	return p.allowset
 }
 
 // Loader parses and type-checks packages without the go command or network
@@ -35,6 +45,13 @@ type Package struct {
 // library, including its vendored golang.org/x packages) — which covers
 // this dependency-free module completely. Standard-library dependencies are
 // type-checked from source, like x/tools' srcimporter.
+//
+// A Loader is safe for concurrent LoadDir calls: the FileSet is documented
+// goroutine-safe, completed *types.Packages are immutable, and an in-flight
+// load is entered exactly once with later callers waiting on its done
+// channel. Import cycles are detected per call stack; a cycle split across
+// two concurrent top-level loads is not (it cannot occur in compilable Go,
+// which the tree is — `go build` gates every analysis run in CI).
 type Loader struct {
 	fset       *token.FileSet
 	moduleRoot string
@@ -42,8 +59,16 @@ type Loader struct {
 	goroot     string
 	ctxt       build.Context
 
-	pkgs    map[string]*Package // by import path, fully loaded
-	loading map[string]bool     // cycle detection
+	mu   sync.Mutex
+	pkgs map[string]*loadEntry // by import path
+}
+
+// loadEntry is one package slot: the first loader claims it, everyone else
+// waits on done.
+type loadEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader builds a loader for the module rooted at or above dir.
@@ -60,8 +85,7 @@ func NewLoader(dir string) (*Loader, error) {
 		modulePath: modPath,
 		goroot:     runtime.GOROOT(),
 		ctxt:       ctxt,
-		pkgs:       map[string]*Package{},
-		loading:    map[string]bool{},
+		pkgs:       map[string]*loadEntry{},
 	}, nil
 }
 
@@ -176,13 +200,14 @@ func hasGoFiles(dir string) bool {
 }
 
 // LoadDir loads the package in dir (non-test files only), type-checking it
-// and every dependency. Results are cached per loader.
+// and every dependency. Results are cached per loader. Safe for concurrent
+// use.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	return l.load(l.pathForDir(dir), dir)
+	return l.load(l.pathForDir(dir), dir, nil)
 }
 
 // pathForDir derives the import path of a module directory. Directories
@@ -214,17 +239,38 @@ func (l *Loader) dirForPath(path string) (string, error) {
 	return "", fmt.Errorf("analysis: cannot resolve import %q (not in module %s or GOROOT)", path, l.modulePath)
 }
 
-// load type-checks the package at dir under the given import path.
-func (l *Loader) load(pkgPath, dir string) (*Package, error) {
-	if p, ok := l.pkgs[pkgPath]; ok {
-		return p, nil
+// load type-checks the package at dir under the given import path. stack is
+// the chain of import paths being loaded by this call stack, for cycle
+// detection.
+func (l *Loader) load(pkgPath, dir string, stack []string) (*Package, error) {
+	for _, s := range stack {
+		if s == pkgPath {
+			return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+		}
 	}
-	if l.loading[pkgPath] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+	l.mu.Lock()
+	if e, ok := l.pkgs[pkgPath]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
 	}
-	l.loading[pkgPath] = true
-	defer delete(l.loading, pkgPath)
+	e := &loadEntry{done: make(chan struct{})}
+	l.pkgs[pkgPath] = e
+	l.mu.Unlock()
 
+	e.pkg, e.err = l.doLoad(pkgPath, dir, stack)
+	close(e.done)
+	if e.err != nil {
+		// Drop the failed entry so a later load with a corrected tree (or a
+		// different dir mapping in tests) can retry.
+		l.mu.Lock()
+		delete(l.pkgs, pkgPath)
+		l.mu.Unlock()
+	}
+	return e.pkg, e.err
+}
+
+func (l *Loader) doLoad(pkgPath, dir string, stack []string) (*Package, error) {
 	bp, err := l.ctxt.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
@@ -244,36 +290,37 @@ func (l *Loader) load(pkgPath, dir string) (*Package, error) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: (*loaderImporter)(l)}
+	conf := types.Config{Importer: &loaderImporter{l: l, stack: append(stack[:len(stack):len(stack)], pkgPath)}}
 	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: typecheck %s: %w", pkgPath, err)
 	}
-	p := &Package{
+	return &Package{
 		PkgPath: pkgPath,
 		Dir:     dir,
 		Fset:    l.fset,
 		Files:   files,
 		Types:   tpkg,
 		Info:    info,
-	}
-	l.pkgs[pkgPath] = p
-	return p, nil
+	}, nil
 }
 
-// loaderImporter adapts the loader to the go/types Importer interface.
-type loaderImporter Loader
+// loaderImporter adapts the loader to the go/types Importer interface,
+// carrying the import stack of the load that owns it.
+type loaderImporter struct {
+	l     *Loader
+	stack []string
+}
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
-	l := (*Loader)(li)
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	dir, err := l.dirForPath(path)
+	dir, err := li.l.dirForPath(path)
 	if err != nil {
 		return nil, err
 	}
-	p, err := l.load(path, dir)
+	p, err := li.l.load(path, dir, li.stack)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Module aggregates every package of one analysis load so module analyzers
+// can check cross-package properties. It lazily builds and caches the
+// conservative call graph and carries the exported-facts store that
+// analyzers use to publish derived knowledge about objects (the x/tools
+// Fact idea, stdlib-only).
+type Module struct {
+	// Pkgs are the loaded packages, sorted by import path.
+	Pkgs []*Package
+	// Fset positions every file of the load.
+	Fset *token.FileSet
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	allowOnce sync.Once
+	allowset  *allowSet
+
+	factsMu sync.Mutex
+	facts   map[types.Object][]Fact
+}
+
+// NewModule builds a module view over the given packages.
+func NewModule(pkgs []*Package) *Module {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PkgPath < sorted[j].PkgPath })
+	m := &Module{Pkgs: sorted, facts: map[types.Object][]Fact{}}
+	if len(sorted) > 0 {
+		m.Fset = sorted[0].Fset
+	} else {
+		m.Fset = token.NewFileSet()
+	}
+	return m
+}
+
+// Graph returns the module's conservative call graph, built on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = buildCallGraph(m.Pkgs) })
+	return m.graph
+}
+
+func (m *Module) allows() *allowSet {
+	m.allowOnce.Do(func() { m.allowset = mergeAllowSets(m.Pkgs) })
+	return m.allowset
+}
+
+// Fact is a piece of analyzer-derived knowledge attached to a types.Object.
+// Implementations are pointer types whose AFact method marks the intent,
+// mirroring golang.org/x/tools/go/analysis.Fact.
+type Fact interface{ AFact() }
+
+// ExportObjectFact publishes a fact about obj, visible to later analyzers
+// in the same module run and to tests via Module.ObjectFacts.
+func (m *Module) ExportObjectFact(obj types.Object, f Fact) {
+	m.factsMu.Lock()
+	defer m.factsMu.Unlock()
+	m.facts[obj] = append(m.facts[obj], f)
+}
+
+// ImportObjectFact copies the fact of target's dynamic type previously
+// exported for obj into target, reporting whether one was found. target
+// must be a non-nil pointer, like the x/tools contract.
+func (m *Module) ImportObjectFact(obj types.Object, target Fact) bool {
+	m.factsMu.Lock()
+	defer m.factsMu.Unlock()
+	for _, f := range m.facts[obj] {
+		if reflect.TypeOf(f) == reflect.TypeOf(target) {
+			reflect.ValueOf(target).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectFacts returns every fact exported for obj.
+func (m *Module) ObjectFacts(obj types.Object) []Fact {
+	m.factsMu.Lock()
+	defer m.factsMu.Unlock()
+	return append([]Fact(nil), m.facts[obj]...)
+}
+
+// ModulePass carries one module analyzer's view of the whole load.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportObjectFact publishes a fact about obj through the module store.
+func (p *ModulePass) ExportObjectFact(obj types.Object, f Fact) {
+	p.Module.ExportObjectFact(obj, f)
+}
+
+// ImportObjectFact copies a previously exported fact of target's type into
+// target.
+func (p *ModulePass) ImportObjectFact(obj types.Object, target Fact) bool {
+	return p.Module.ImportObjectFact(obj, target)
+}
+
+// RunModuleAnalyzer executes one module analyzer over the whole load and
+// returns its diagnostics with suppression directives already applied,
+// sorted by position. Reusing one Module across analyzers shares the cached
+// call graph and the facts store.
+func RunModuleAnalyzer(a *Analyzer, mod *Module) ([]Diagnostic, error) {
+	if a.RunModule == nil {
+		return nil, fmt.Errorf("analysis: %s is not a module analyzer", a.Name)
+	}
+	pass := &ModulePass{Analyzer: a, Module: mod}
+	if err := a.RunModule(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	allows := mod.allows()
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if allows.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestModuleAnalyzersNoRoots checks the fall-back: over a package with no
+// shardroot/hotpath annotations, both module analyzers are silent instead
+// of guessing roots.
+func TestModuleAnalyzersNoRoots(t *testing.T) {
+	pkg := loadTestPkg(t, "errstrict")
+	mod := NewModule([]*Package{pkg})
+	for _, a := range []*Analyzer{ShardPhase, AllocFree} {
+		diags, err := RunModuleAnalyzer(a, mod)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s over un-annotated package = %d diagnostics, want 0: %v", a.Name, len(diags), diags)
+		}
+	}
+}
+
+// method finds a named type's method by name in the fixture package.
+func method(t *testing.T, pkg *Package, typeName, methodName string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(typeName)
+	if obj == nil {
+		t.Fatalf("type %s not found", typeName)
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("%s is not a named type", typeName)
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == methodName {
+			return m
+		}
+	}
+	t.Fatalf("method %s.%s not found", typeName, methodName)
+	return nil
+}
+
+// TestShardPhaseFacts checks the facts store: shardphase exports a
+// ShardReachableFact for every function it visits, naming the root, and
+// functions it never reaches carry no fact.
+func TestShardPhaseFacts(t *testing.T) {
+	pkg := loadTestPkg(t, "shardphase")
+	mod := NewModule([]*Package{pkg})
+	if _, err := RunModuleAnalyzer(ShardPhase, mod); err != nil {
+		t.Fatal(err)
+	}
+
+	var fact ShardReachableFact
+	helper := method(t, pkg, "shardEngine", "helper")
+	if !mod.ImportObjectFact(helper, &fact) {
+		t.Fatal("no ShardReachableFact on helper, which is reachable from worker")
+	}
+	if fact.Root == "" || !strings.Contains(fact.Root, "worker") {
+		t.Errorf("helper's fact root = %q, want the worker root", fact.Root)
+	}
+
+	// reduce is barrier-phase: calls to it are flagged, not followed.
+	reduce := method(t, pkg, "shardEngine", "reduce")
+	if mod.ImportObjectFact(reduce, &fact) {
+		t.Errorf("barrier-phase reduce carries a reachability fact (root %q); the walk must stop at the report", fact.Root)
+	}
+}
+
+// TestCallGraphShape spot-checks the conservative call graph over the
+// allocfree fixture: static method edges resolve, and the graph node for a
+// root lists its callees.
+func TestCallGraphShape(t *testing.T) {
+	pkg := loadTestPkg(t, "allocfree")
+	mod := NewModule([]*Package{pkg})
+	g := mod.Graph()
+
+	emit := g.Node(method(t, pkg, "bus", "emit"))
+	if emit == nil {
+		t.Fatal("no call-graph node for bus.emit")
+	}
+	callees := map[string]bool{}
+	dynamic := 0
+	for _, site := range emit.Out {
+		if site.Dynamic {
+			dynamic++
+		}
+		for _, f := range site.Targets {
+			callees[f.Name()] = true
+		}
+	}
+	for _, want := range []string{"flush", "report", "box"} {
+		if !callees[want] {
+			t.Errorf("emit's callees missing %s; have %v", want, callees)
+		}
+	}
+
+	roots := g.NodesWithDirective("hotpath")
+	if len(roots) != 1 || roots[0] != emit {
+		t.Errorf("NodesWithDirective(hotpath) = %v, want exactly bus.emit", roots)
+	}
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardPhase encodes the sharded cycle engine's legality argument
+// (DESIGN.md §9) as a checked property: code running on a shard-worker
+// goroutine — everything reachable from an //eqlint:shardroot function —
+// may touch only state owned by its SM range. Reachable writes to shared
+// machine/memory-domain state, calls into //eqlint:barrierphase functions
+// (coordinator-only code), and statically unresolvable calls are flagged.
+// Accesses indexed by a worker-local variable (e.slots[w], e.m.sms[i]) are
+// the blessed per-shard pattern and pass.
+var ShardPhase = &Analyzer{
+	Name: "shardphase",
+	Doc: `flag shared-state access on shard-worker goroutines outside the barrier phase
+
+Starting from every //eqlint:shardroot function, walks the module call
+graph and reports: writes whose selector chain passes through a shared
+simulator type (Machine, shardEngine, the memory-domain components) without
+a worker-local index; calls to //eqlint:barrierphase (coordinator-only)
+functions; and dynamic calls, which cannot be proven shard-safe and must be
+individually blessed with an allow directive stating why they are.`,
+	RunModule: runShardPhase,
+}
+
+// sharedStateTypes names the simulator types that only the coordinator may
+// mutate between phase barriers. Matching is by type name so the analyzer's
+// testdata packages can model the shape without importing the simulator.
+var sharedStateTypes = map[string]bool{
+	"Machine":       true, // gpu.Machine
+	"shardEngine":   true, // gpu.shardEngine
+	"memController": true, // gpu's DRAM interface
+	"Network":       true, // icnt.Network
+	"Controller":    true, // dram.Controller
+	"Banked":        true, // dram.Banked
+}
+
+// ShardReachableFact marks a function as reachable from a shard-worker
+// root; exported for each function shardphase visits so later analyzers
+// (and tests) can consume the reachability frontier.
+type ShardReachableFact struct {
+	// Root is the display name of the //eqlint:shardroot function the walk
+	// started from.
+	Root string
+}
+
+// AFact marks ShardReachableFact as a Fact.
+func (*ShardReachableFact) AFact() {}
+
+func runShardPhase(pass *ModulePass) error {
+	g := pass.Module.Graph()
+	roots := g.NodesWithDirective("shardroot")
+	if len(roots) == 0 {
+		return nil
+	}
+	barrier := map[*types.Func]bool{}
+	for _, n := range g.NodesWithDirective("barrierphase") {
+		barrier[n.Fn] = true
+	}
+
+	rootOf := map[*CallNode]string{}
+	var queue []*CallNode
+	for _, r := range roots {
+		if _, ok := rootOf[r]; ok {
+			continue
+		}
+		rootOf[r] = funcDisplayName(r.Fn)
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		root := rootOf[n]
+		pass.ExportObjectFact(n.Fn, &ShardReachableFact{Root: root})
+		where := "in " + funcDisplayName(n.Fn) + ", reachable from shard root " + root
+		if funcDisplayName(n.Fn) == root {
+			where = "in shard root " + root
+		}
+
+		checkShardWrites(pass, n, where)
+
+		for _, site := range n.Out {
+			if site.Dynamic || (site.Interface && len(site.Targets) == 0) {
+				pass.Reportf(site.Call.Pos(),
+					"dynamic call cannot be proven shard-phase safe (%s); bless with //eqlint:allow shardphase -- <reason>", where)
+				continue
+			}
+			for _, t := range site.Targets {
+				if barrier[t] {
+					pass.Reportf(site.Call.Pos(),
+						"barrier-phase function %s called from shard-worker code (%s)", funcDisplayName(t), where)
+					continue
+				}
+				if pkg := t.Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+					// The barrier protocol itself (WaitGroup.Done and
+					// friends) is how workers hand state back; allowed.
+					continue
+				}
+				if tn := g.Node(t); tn != nil {
+					if _, ok := rootOf[tn]; !ok {
+						rootOf[tn] = root
+						queue = append(queue, tn)
+					}
+					continue
+				}
+				// Callee outside the module (stdlib). Flag it only when it
+				// is invoked on shared state; pure-value helpers are fine.
+				if sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr); ok {
+					if name, shared := sharedStateChain(n.Pkg.Info, sel.X); shared {
+						pass.Reportf(site.Call.Pos(),
+							"call to %s on shared %s state from shard-worker code (%s)", funcDisplayName(t), name, where)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkShardWrites flags writes to shared state in one reachable function:
+// assignments, ++/--, and the mutating builtins delete/clear.
+func checkShardWrites(pass *ModulePass, n *CallNode, where string) {
+	info := n.Pkg.Info
+	inspectLive(info, n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if name, shared := sharedStateChain(info, lhs); shared {
+					pass.Reportf(lhs.Pos(),
+						"shard-worker write to shared %s state outside the barrier phase (%s)", name, where)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, shared := sharedStateChain(info, x.X); shared {
+				pass.Reportf(x.X.Pos(),
+					"shard-worker write to shared %s state outside the barrier phase (%s)", name, where)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "delete" || id.Name == "clear") && len(x.Args) > 0 {
+					if name, shared := sharedStateChain(info, x.Args[0]); shared {
+						pass.Reportf(x.Pos(),
+							"shard-worker write to shared %s state outside the barrier phase (%s)", name, where)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sharedStateChain walks a selector chain outward and reports the first
+// shared simulator type it passes through. An index expression whose index
+// is a worker-local variable stops the walk: that is the blessed
+// "my shard's slice element" pattern (e.slots[w], e.m.sms[i]).
+func sharedStateChain(info *types.Info, e ast.Expr) (string, bool) {
+	for {
+		e = ast.Unparen(e)
+		if e == nil {
+			return "", false
+		}
+		if name, ok := sharedTypeName(info.TypeOf(e)); ok {
+			return name, true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if localVarIndex(info, x.Index) {
+				return "", false
+			}
+			e = x.X
+		case *ast.CallExpr:
+			if f, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				e = f.X
+				continue
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// sharedTypeName resolves a type (through pointers) to a shared simulator
+// type name, if it is one.
+func sharedTypeName(t types.Type) (string, bool) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	return name, sharedStateTypes[name]
+}
+
+// localVarIndex reports whether an index expression is a plain reference to
+// a function-local variable (parameter or local) — the worker's own range
+// cursor. Constants and package-level variables do not qualify.
+func localVarIndex(info *types.Info, idx ast.Expr) bool {
+	id, ok := ast.Unparen(idx).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}

@@ -1,0 +1,81 @@
+// Package allocfree exercises the allocfree analyzer: every allocating
+// construct it knows, reachable from hotpath/emitpath roots, plus the
+// blessed forms (capacity-evidence append, panic arguments, constant-false
+// branches, pointer/nil interface arguments) that must stay silent.
+package allocfree
+
+import "fmt"
+
+type event struct{ a, b int64 }
+
+type iface interface{ m() }
+
+type impl struct{ n int }
+
+func (impl) m() {}
+
+func sink(v interface{}) { _ = v }
+
+type bus struct {
+	staged []event
+	idx    map[int]int
+	name   string
+}
+
+// emit is the per-cycle entry point.
+//
+//eqlint:hotpath
+func (b *bus) emit(a, v int64) {
+	b.staged = append(b.staged, event{a, v}) // want "append without capacity evidence may allocate"
+	//eqlint:allow allocfree -- testdata blessing: pool grows to steady-state capacity
+	b.staged = append(b.staged, event{a: a})
+	b.flush()
+	b.report(a)
+	b.box(int(a))
+}
+
+func (b *bus) flush() {
+	b.staged = append(b.staged[:0], b.staged...) // x[:0] capacity evidence: silent
+	s := make([]event, 4)                        // want "make allocates"
+	_ = s
+	p := new(event) // want "new allocates"
+	_ = p
+	b.idx[3] = 4       // want "map assignment may allocate"
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	e := &event{} // want "&composite literal heap-allocates"
+	_ = e
+	f := func() {} // want "closure allocates"
+	f()
+	b.name = b.name + "!" // want "string concatenation allocates"
+	_ = "a" + "b"         // constant concatenation folds: silent
+}
+
+func (b *bus) report(a int64) {
+	msg := fmt.Sprintf("a=%d", a) // want "fmt.Sprintf allocates"
+	_ = msg
+	if false {
+		fmt.Println("dead branch, skipped")
+	}
+	_ = []byte(b.name) // want "conversion allocates"
+	_ = iface(impl{})  // want "conversion allocates"
+	if a < 0 {
+		panic(fmt.Sprintf("negative %d", a)) // crash path: silent
+	}
+}
+
+func (b *bus) box(x int) {
+	sink(x) // want "implicit conversion to interface.. boxes the argument"
+	sink(nil)
+	var p *event
+	sink(p) // pointer payloads fit the interface word: silent
+}
+
+// record is an emit-path root in its own right.
+//
+//eqlint:emitpath
+func record(vals []int64, v int64) []int64 {
+	return append(vals, v) // want "append without capacity evidence may allocate"
+}

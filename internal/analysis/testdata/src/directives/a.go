@@ -1,0 +1,19 @@
+// Package directives is a deliberately unhygienic fixture for
+// VerifyDirectives: an unknown verb, an allow naming a nonexistent
+// analyzer, and an allow that suppresses nothing.
+package directives
+
+// a carries a typo'd directive verb.
+//
+//eqlint:frobnicate
+func a() int {
+	return 1
+}
+
+func b() int {
+	//eqlint:allow nosuchanalyzer -- typo: there is no such analyzer
+	x := a()
+	//eqlint:allow errstrict -- nothing on the next line errors
+	x += a()
+	return x
+}

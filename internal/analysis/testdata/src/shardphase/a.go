@@ -1,0 +1,68 @@
+// Package shardphase models the sharded cycle engine's shape for the
+// shardphase analyzer: a shared Machine, a shardEngine whose worker is the
+// shard root, and a coordinator-only barrier function. The type names match
+// the analyzer's shared-state set without importing the simulator.
+package shardphase
+
+import "sync"
+
+type sm struct {
+	cycles int
+}
+
+func (s *sm) step() { s.cycles++ } // local SM state: never flagged
+
+type Machine struct {
+	sms     []*sm
+	pending int
+	tags    map[int]int
+}
+
+type shardEngine struct {
+	m     *Machine
+	slots []int
+	wg    sync.WaitGroup
+	hook  func()
+}
+
+// reduce is coordinator-only: it reads every SM.
+//
+//eqlint:barrierphase
+func (e *shardEngine) reduce() int {
+	t := 0
+	for _, s := range e.m.sms {
+		t += s.cycles
+	}
+	return t
+}
+
+// worker is the shard-worker goroutine body.
+//
+//eqlint:shardroot
+func (e *shardEngine) worker(w int) {
+	e.m.sms[w].step() // blessed: worker-local index stops the shared chain
+
+	e.slots[w] = 1 // blessed: worker-local index
+
+	e.m.pending++ // want "shard-worker write to shared Machine state outside the barrier phase"
+
+	e.slots[0] = 2 // want "shard-worker write to shared shardEngine state outside the barrier phase"
+
+	delete(e.m.tags, w) // want "shard-worker write to shared Machine state outside the barrier phase"
+
+	_ = e.reduce() // want "barrier-phase function .*reduce.* called from shard-worker code"
+
+	e.hook() // want "dynamic call cannot be proven shard-phase safe"
+
+	//eqlint:allow shardphase -- testdata blessing: the hook only touches shard-local state
+	e.hook()
+
+	e.helper(w)
+
+	e.wg.Done() // sync is the barrier protocol itself: exempt
+}
+
+// helper is reachable from the root, so its writes are flagged too.
+func (e *shardEngine) helper(w int) {
+	e.m.pending = w // want "shard-worker write to shared Machine state outside the barrier phase"
+}

@@ -172,6 +172,7 @@ func (c *Cache) tag(a Addr) uint64      { return uint64(a) >> c.lineShift }
 func (c *Cache) Access(a Addr) AccessResult {
 	res := c.access(a)
 	if c.probe.Enabled(c.accessKind) {
+		//eqlint:allow shardphase -- probeNow is installed per cache at construction and reads only the owning SM's clock
 		c.probe.Emit(c.probeNow(), c.accessKind, c.probeSrc, int64(c.LineAddr(a)), int64(res))
 	}
 	return res

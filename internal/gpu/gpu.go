@@ -739,6 +739,8 @@ func (m *Machine) invocationLabel() string {
 // and interconnect drained, no delayed L2 replies, and no SM outbox waiting
 // to enter the network. An idle memory cycle only advances cycle statistics,
 // so it commutes with quiescent SM cycles and can be retired in bulk.
+//
+//eqlint:hotpath
 func (m *Machine) memIdle() bool {
 	if !m.dram.Drained() || !m.net.Drained() || m.l2Replies.Len() != 0 {
 		return false
@@ -787,6 +789,8 @@ func (m *Machine) doneWouldChange() bool {
 // transition, no policy action, no VF switch, and not overtaking an active
 // memory domain — or 0 when the next cycle must run for real. smCycle is the
 // index of the last completed SM cycle.
+//
+//eqlint:hotpath
 func (m *Machine) fastForwardSpan(smNext, memNext clock.Time, smCycle int64, aware FastForwardAware) int64 {
 	// Every SM must be quiescent; w is the earliest state-changing event.
 	w := int64(math.MaxInt64)
@@ -872,6 +876,7 @@ func (m *Machine) fastForwardSpan(smNext, memNext clock.Time, smCycle int64, awa
 // span covers smCycle+1 .. smCycle+n.
 //
 //eqlint:cycle-owner
+//eqlint:hotpath
 func (m *Machine) applyFastForward(n int64, firstPS, smCycle int64, aware FastForwardAware) {
 	period := int64(m.smDomain.CyclesToTime(1))
 	m.smDomain.TickN(n)
@@ -911,6 +916,8 @@ func (m *Machine) applyFastForward(n int64, firstPS, smCycle int64, aware FastFo
 // memIdleSpan returns how many idle memory cycles starting at boundary
 // memNext fit strictly before the SM domain's next boundary and any pending
 // VF switch. The caller has established memIdle.
+//
+//eqlint:hotpath
 func (m *Machine) memIdleSpan(memNext, smNext clock.Time) int64 {
 	period := int64(m.memDomain.CyclesToTime(1))
 	k := (int64(smNext)-1-int64(memNext))/period + 1
@@ -957,7 +964,11 @@ func (m *Machine) verifyInvariants() {
 	}
 }
 
-// done reports completion and stamps partition finish times.
+// done reports completion and stamps partition finish times. Coordinator
+// phase only: it reads every SM and the shared drain state.
+//
+//eqlint:barrierphase
+//eqlint:hotpath
 func (m *Machine) done(nowPS int64) bool {
 	allDone := true
 	for p := range m.parts {
@@ -989,6 +1000,12 @@ func (m *Machine) done(nowPS int64) bool {
 	return m.net.Drained() && m.dram.Drained() && m.l2Replies.Len() == 0
 }
 
+// dispatchBlocks launches pending blocks onto SMs with free slots.
+// Coordinator phase only: it walks partitions and mutates shared dispatch
+// cursors.
+//
+//eqlint:barrierphase
+//eqlint:hotpath
 func (m *Machine) dispatchBlocks(nowPS int64) {
 	_ = nowPS
 	for p := range m.parts {
@@ -1010,6 +1027,13 @@ func (m *Machine) dispatchBlocks(nowPS int64) {
 }
 
 // stepMemory advances the memory partition by one memory-domain cycle.
+// It touches every shared memory-domain component (DRAM, L2, interconnect,
+// waiter tables), so it must only ever run on the coordinator between
+// phase barriers, and it executes once per memory cycle so it must not
+// allocate in steady state.
+//
+//eqlint:barrierphase
+//eqlint:hotpath
 func (m *Machine) stepMemory(now clock.Time) {
 	m.lastMemNowPS = int64(now)
 	// 1. DRAM completions fill the L2 and answer every waiting SM.
@@ -1046,6 +1070,10 @@ func (m *Machine) stepMemory(now clock.Time) {
 
 // drainRequest routes one interconnect request into the L2 / memory
 // controller; it is the body of the once-allocated drainFn callback.
+// Marked hotpath explicitly because the call graph cannot follow the
+// drainFn func value from stepMemory.
+//
+//eqlint:hotpath
 func (m *Machine) drainRequest(r icnt.Request) bool {
 	switch {
 	case m.l2.Contains(r.Line):
@@ -1071,6 +1099,8 @@ func (m *Machine) drainRequest(r icnt.Request) bool {
 
 // addL2Waiter records a request awaiting a pending L2 line, reusing a pooled
 // slice for the line's first waiter.
+//
+//eqlint:hotpath
 func (m *Machine) addL2Waiter(r icnt.Request) {
 	w, ok := m.l2Waiters[r.Line]
 	if !ok && len(m.l2WaiterPool) > 0 {

@@ -117,6 +117,13 @@ func (e *shardEngine) stop() {
 }
 
 // worker steps the SMs of shard w, in index order, for every dispatched job.
+// This is the shard-worker goroutine body: everything reachable from here
+// runs concurrently with the other shards and may only touch state owned
+// by SMs [lo, hi) — shardphase checks that transitively. It is also the
+// inner per-cycle loop, so allocfree holds it allocation-free.
+//
+//eqlint:shardroot
+//eqlint:hotpath
 func (e *shardEngine) worker(w int) {
 	lo, hi := e.ranges[w][0], e.ranges[w][1]
 	for job := range e.jobs[w] {
@@ -151,6 +158,8 @@ func (e *shardEngine) worker(w int) {
 // tallies move only here.
 //
 //eqlint:cycle-owner
+//eqlint:barrierphase
+//eqlint:hotpath
 func (e *shardEngine) dispatch(job shardJob) int {
 	// Stage every SM's telemetry before the workers run and flush in SM
 	// index order after the barrier: concurrent emission never touches the
@@ -188,6 +197,8 @@ func (e *shardEngine) dispatch(job shardJob) int {
 // the reads are cheap and every SM is quiescent at a phase barrier — but
 // reduces shard by shard so the merge order is fixed regardless of shard
 // geometry (min is order-independent; the shape documents the contract).
+//
+//eqlint:hotpath
 func (e *shardEngine) nextEventReduce() (int64, bool) {
 	w := int64(0)
 	first := true

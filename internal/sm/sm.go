@@ -522,6 +522,7 @@ func (s *SM) Idle() bool {
 // latencies expressed in SM cycles into absolute times.
 //
 //eqlint:cycle-owner
+//eqlint:hotpath
 func (s *SM) Step(now clock.Time, smPeriod clock.Time) {
 	s.nowPS = int64(now)
 	s.stats.Cycles++
@@ -905,6 +906,7 @@ func (s *SM) issue(now clock.Time, smPeriod clock.Time) {
 				bestALU = ws
 			}
 		case warp.MEM:
+			//eqlint:allow shardphase -- filter is this SM's own policy hook (see SetFilter); policies keep per-SM state only
 			if s.filter != nil && !s.filter(ws) {
 				// Policy-throttled warp: counts as waiting, not Xmem.
 				snap.Waiting++
@@ -1061,6 +1063,7 @@ func (s *SM) NextEventAt() (int64, bool) {
 // the machine replays that order across SMs via EmitCensus.
 //
 //eqlint:cycle-owner
+//eqlint:hotpath
 func (s *SM) FastForward(n, firstPS, stridePS int64) {
 	s.stats.Cycles += uint64(n)
 	if s.residentBlocks > 0 {
@@ -1085,6 +1088,8 @@ func (s *SM) FastForward(n, firstPS, stridePS int64) {
 // engine calls it once per SM per skipped cycle, iterating cycles outermost
 // and SMs innermost, so the event stream interleaves identically to the
 // legacy loop's.
+//
+//eqlint:hotpath
 func (s *SM) EmitCensus(ps int64) {
 	snap := s.snap
 	packed := int64(snap.Active)<<24 | int64(snap.Waiting)<<16 |

@@ -270,6 +270,8 @@ func (b *Bus) Enabled(k Kind) bool {
 // Emit records one event. On a nil bus or a masked-out kind this is a
 // branch and a return: no allocation, no write. The hot path of every
 // instrumented component runs through here.
+//
+//eqlint:emitpath
 func (b *Bus) Emit(timePS int64, k Kind, src int16, a, v int64) {
 	if b == nil || !b.mask.Has(k) {
 		return
