@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The bench regression guard (-check) compares two BENCH_service.json
+// files — the committed baseline and a freshly generated one — on the
+// warm-pass p95: the steady-state serving latency, which is the number the
+// service exists to protect. CI runs it on pull requests and fails the
+// build when the fresh warm p95 regresses more than checkMaxRel over the
+// baseline.
+//
+// Two escape hatches keep the guard honest rather than noisy:
+//
+//   - an absolute floor (-check-min-ms): regressions are ignored while both
+//     p95s sit below it, since at sub-millisecond latencies a 25% swing is
+//     scheduler jitter, not a regression;
+//   - the EQBENCH_SKIP_CHECK=1 environment variable (set from a PR label by
+//     CI) skips the comparison for intentional perf trade-offs, loudly.
+
+// checkMaxRel is the allowed relative warm-p95 regression (0.25 = +25%).
+const checkMaxRel = 0.25
+
+// warmP95 extracts the warm-pass p95 from a BENCH_service.json file. It
+// prefers the untuned "warm" pass (the baseline regime present in every
+// report) so adding tuned passes never changes what the guard compares.
+func warmP95(path string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep serviceReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, p := range rep.Passes {
+		if p.Name == "warm" {
+			return p.P95MS, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no warm pass in report", path)
+}
+
+// runCheck implements -check old.json new.json; returns the process exit
+// code.
+func runCheck(args []string, minMS float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "eqbench: -check wants exactly two arguments: old.json new.json")
+		return 2
+	}
+	if os.Getenv("EQBENCH_SKIP_CHECK") == "1" {
+		fmt.Println("eqbench -check: SKIPPED (EQBENCH_SKIP_CHECK=1)")
+		return 0
+	}
+	oldP95, err := warmP95(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqbench:", err)
+		return 2
+	}
+	newP95, err := warmP95(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqbench:", err)
+		return 2
+	}
+	fmt.Printf("eqbench -check: warm p95 %.3fms (baseline) vs %.3fms (fresh)\n", oldP95, newP95)
+	if oldP95 <= minMS && newP95 <= minMS {
+		fmt.Printf("eqbench -check: OK — both under the %.1fms noise floor\n", minMS)
+		return 0
+	}
+	if newP95 > oldP95*(1+checkMaxRel) {
+		fmt.Printf("eqbench -check: FAIL — warm p95 regressed %.0f%% (limit %.0f%%); set the perf-regression-ok label if intentional\n",
+			100*(newP95/oldP95-1), 100*checkMaxRel)
+		return 1
+	}
+	fmt.Println("eqbench -check: OK")
+	return 0
+}

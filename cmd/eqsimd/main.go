@@ -24,7 +24,16 @@
 // kernel/policy/error details and pprof can induce profiling load:
 //
 //	GET  /debug/requests request-trace ring buffer (?format=chrome)
+//	GET  /debug/tuner    self-tuning controller decision ring
 //	     /debug/pprof/*  runtime profiles
+//
+// With -tune, a feedback controller samples the live queue depth, worker
+// occupancy, shed count and request-latency histogram every -tune-interval
+// and resizes the simulation worker pool within [-tune-min-workers,
+// -tune-max-workers] (opening the admission limit alongside), so the
+// service adapts its capacity to the offered load instead of being pinned
+// at -parallel. Tuning only changes scheduling — results stay
+// byte-identical.
 //
 // Overloaded submissions are shed with 429 + Retry-After. SIGTERM/SIGINT
 // starts a graceful drain: /readyz flips to 503, new submissions are
@@ -48,27 +57,47 @@ import (
 	"equalizer/internal/telemetry"
 )
 
+// options collects the command line; run consumes it.
+type options struct {
+	addr, debugAddr        string
+	cacheDir               string
+	noCache                bool
+	parallel, smShards     int
+	queueDepth             int
+	scale                  float64
+	traceCap               int
+	retryAfter             time.Duration
+	drainTimeout           time.Duration
+	tune                   bool
+	tuneInterval           time.Duration
+	tuneMin, tuneMax       int
+	logFormat, logLevel    string
+	cpuprofile, memprofile string
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		debugAddr    = flag.String("debug-addr", "127.0.0.1:8081", "listen address for /debug/requests and /debug/pprof (empty disables)")
-		cacheDir     = flag.String("cache-dir", ".eqcache", "persistent result-cache directory")
-		noCache      = flag.Bool("no-cache", false, "disable the persistent result cache")
-		parallel     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		smShards     = flag.Int("sm-shards", 0, "intra-run SM worker count per simulation (0 = auto: never oversubscribes -parallel)")
-		queueDepth   = flag.Int("queue-depth", 64, "run cells that may wait beyond the in-flight ones before shedding")
-		scale        = flag.Float64("scale", 1.0, "grid-size scale factor (0,1]")
-		traceCap     = flag.Int("trace-capacity", 256, "request-trace ring-buffer capacity")
-		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
-		logFormat    = flag.String("log-format", "text", "structured log format: text | json")
-		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
-		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.debugAddr, "debug-addr", "127.0.0.1:8081", "listen address for /debug/requests, /debug/tuner and /debug/pprof (empty disables)")
+	flag.StringVar(&o.cacheDir, "cache-dir", ".eqcache", "persistent result-cache directory")
+	flag.BoolVar(&o.noCache, "no-cache", false, "disable the persistent result cache")
+	flag.IntVar(&o.parallel, "parallel", 0, "concurrent simulations (0 = GOMAXPROCS; ignored with -tune)")
+	flag.IntVar(&o.smShards, "sm-shards", 0, "intra-run SM worker count per simulation (0 = auto: never oversubscribes -parallel)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 64, "run cells that may wait beyond the in-flight ones before shedding")
+	flag.Float64Var(&o.scale, "scale", 1.0, "grid-size scale factor (0,1]")
+	flag.IntVar(&o.traceCap, "trace-capacity", 256, "request-trace ring-buffer capacity")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+	flag.BoolVar(&o.tune, "tune", false, "enable the self-tuning controller (resizes the worker pool and admission limit from live load)")
+	flag.DurationVar(&o.tuneInterval, "tune-interval", 250*time.Millisecond, "control epoch length for -tune")
+	flag.IntVar(&o.tuneMin, "tune-min-workers", 1, "worker-pool floor for -tune")
+	flag.IntVar(&o.tuneMax, "tune-max-workers", 0, "worker-pool ceiling for -tune (0 = 4x the floor)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text | json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug | info | warn | error")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
-	if err := run(*addr, *debugAddr, *cacheDir, *noCache, *parallel, *smShards, *queueDepth, *scale, *traceCap,
-		*retryAfter, *drainTimeout, *logFormat, *logLevel, *cpuprofile, *memprofile); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "eqsimd:", err)
 		os.Exit(1)
 	}
@@ -100,48 +129,54 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-func run(addr, debugAddr, cacheDir string, noCache bool, parallel, smShards, queueDepth int, scale float64,
-	traceCap int, retryAfter, drainTimeout time.Duration, logFormat, logLevel, cpuprofile, memprofile string) error {
-	log, err := newLogger(logFormat, logLevel)
+func run(o options) error {
+	log, err := newLogger(o.logFormat, o.logLevel)
 	if err != nil {
 		return err
 	}
-	stopProfiling, err := telemetry.StartProfiling(cpuprofile, memprofile)
+	stopProfiling, err := telemetry.StartProfiling(o.cpuprofile, o.memprofile)
 	if err != nil {
 		return err
 	}
-	if noCache {
-		cacheDir = ""
+	if o.noCache {
+		o.cacheDir = ""
+	}
+	if o.tune && o.tuneMax > 0 && o.tuneMax < o.tuneMin {
+		return fmt.Errorf("-tune-max-workers %d below -tune-min-workers %d", o.tuneMax, o.tuneMin)
 	}
 	svc, err := service.New(service.Config{
-		GridScale:     scale,
-		Parallelism:   parallel,
-		SMShards:      smShards,
-		QueueDepth:    queueDepth,
-		CacheDir:      cacheDir,
-		TraceCapacity: traceCap,
-		RetryAfter:    retryAfter,
-		Logger:        log,
+		GridScale:      o.scale,
+		Parallelism:    o.parallel,
+		SMShards:       o.smShards,
+		QueueDepth:     o.queueDepth,
+		CacheDir:       o.cacheDir,
+		TraceCapacity:  o.traceCap,
+		RetryAfter:     o.retryAfter,
+		Logger:         log,
+		Tune:           o.tune,
+		TuneInterval:   o.tuneInterval,
+		TuneMinWorkers: o.tuneMin,
+		TuneMaxWorkers: o.tuneMax,
 	})
 	if err != nil {
 		return err
 	}
 
-	srv := &http.Server{Addr: addr, Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Addr: o.addr, Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Info("serving", slog.String("addr", addr),
-			slog.String("cache_dir", cacheDir), slog.Float64("scale", scale))
+		log.Info("serving", slog.String("addr", o.addr),
+			slog.String("cache_dir", o.cacheDir), slog.Float64("scale", o.scale))
 		serveErr <- srv.ListenAndServe()
 	}()
 
 	// The diagnostic surface binds separately (loopback by default): its
 	// failure degrades debuggability, not service.
 	var debugSrv *http.Server
-	if debugAddr != "" {
-		debugSrv = &http.Server{Addr: debugAddr, Handler: svc.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	if o.debugAddr != "" {
+		debugSrv = &http.Server{Addr: o.debugAddr, Handler: svc.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			log.Info("debug listener", slog.String("addr", debugAddr))
+			log.Info("debug listener", slog.String("addr", o.debugAddr))
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Warn("debug listener failed", slog.String("error", err.Error()))
 			}
@@ -159,7 +194,7 @@ func run(addr, debugAddr, cacheDir string, noCache bool, parallel, smShards, que
 
 	// Graceful drain: refuse new work, finish in-flight runs, then close
 	// the listener.
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := svc.Drain(ctx); err != nil {
 		log.Warn("drain incomplete", slog.String("error", err.Error()))

@@ -18,6 +18,7 @@ import (
 	"equalizer/internal/config"
 	"equalizer/internal/core"
 	"equalizer/internal/exp/runcache"
+	"equalizer/internal/exp/workpool"
 	"equalizer/internal/gpu"
 	"equalizer/internal/kernels"
 	"equalizer/internal/metrics"
@@ -77,7 +78,7 @@ type Harness struct {
 	scale    float64
 	par      int
 	smShards int
-	sem      chan struct{}
+	pool     *workpool.Pool
 	cache    *runcache.Cache
 	logf     func(format string, args ...interface{})
 	now      func() int64
@@ -140,7 +141,7 @@ func New(opts Options) *Harness {
 	if h.smShards <= 0 {
 		h.smShards = gpu.AutoShards(h.par, h.gpuCfg.NumSMs)
 	}
-	h.sem = make(chan struct{}, h.par)
+	h.pool = workpool.New(h.par)
 	if h.logf == nil {
 		h.logf = func(string, ...interface{}) {}
 	}
@@ -193,8 +194,16 @@ func (h *Harness) clock() int64 {
 	return h.now()
 }
 
-// Parallelism returns the effective worker-pool width.
+// Parallelism returns the worker-pool width the harness was configured
+// with. A runtime controller may since have resized the pool; Pool().Size()
+// is the live width.
 func (h *Harness) Parallelism() int { return h.par }
+
+// Pool returns the harness's run worker pool. The simulation service
+// executes its admitted run cells through it, and the service tuner resizes
+// it at runtime — resizing only changes how many runs execute concurrently,
+// never what a run computes.
+func (h *Harness) Pool() *workpool.Pool { return h.pool }
 
 // SMShards returns the effective per-machine intra-run worker count.
 func (h *Harness) SMShards() int { return h.smShards }
@@ -579,10 +588,9 @@ func (h *Harness) Prefetch(grid []RunRequest) {
 		//eqlint:allow nodeterminism -- prefetch workers only warm the keyed run cache; figure output is read sequentially
 		go func(r RunRequest) {
 			defer wg.Done()
-			//eqlint:allow nodeterminism -- semaphore acquire; bounds concurrency, carries no data
-			h.sem <- struct{}{}
-			defer func() { <-h.sem }()
-			h.Run(r.Kernel, r.Setup) //nolint:errcheck // surfaced on the sequential path
+			h.pool.Do(context.Background(), func() { //nolint:errcheck // background ctx cannot fail; run errors surface on the sequential path
+				h.Run(r.Kernel, r.Setup) //nolint:errcheck // surfaced on the sequential path
+			})
 		}(r)
 	}
 	wg.Wait()

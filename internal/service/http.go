@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"equalizer/internal/exp"
+	"equalizer/internal/service/tuner"
 	"equalizer/internal/telemetry"
 )
 
@@ -43,10 +44,12 @@ func (s *Service) Handler() http.Handler {
 // (eqsimd's -debug-addr):
 //
 //	GET  /debug/requests request-trace ring buffer (?format=chrome)
+//	GET  /debug/tuner    self-tuning controller decision ring
 //	     /debug/pprof/*  net/http/pprof profiles
 func (s *Service) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/requests", s.handleRequests)
+	mux.HandleFunc("/debug/tuner", s.handleTuner)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -137,9 +140,9 @@ func (s *Service) writeError(w http.ResponseWriter, tr *activeTrace, status int,
 // retrying is pointless), drain refusal (503), then queue-bound shedding
 // (429). ok=false means the response has been written.
 func (s *Service) admitRequest(w http.ResponseWriter, tr *activeTrace, n int) (int, error, bool) {
-	if int64(n) > s.queueCap {
+	if cap := s.admitCap.Load(); int64(n) > cap {
 		st, err := s.writeError(w, tr, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("request needs %d run cells but the service admits at most %d: split the sweep or raise -queue-depth", n, s.queueCap))
+			fmt.Errorf("request needs %d run cells but the service admits at most %d: split the sweep or raise -queue-depth", n, cap))
 		return st, err, false
 	}
 	if !s.beginWork() {
@@ -304,6 +307,41 @@ func (s *Service) handleRequests(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.WriteHeader(http.StatusBadRequest)
 		fmt.Fprintln(w, `unknown format (want json or chrome)`)
+	}
+}
+
+// tunerStatus is the /debug/tuner response shape.
+type tunerStatus struct {
+	Enabled bool `json:"enabled"`
+	// Epochs, Workers and AdmissionLimit summarise the controller's
+	// current state; Decisions is the retained ring, oldest first.
+	Epochs         uint64           `json:"epochs,omitempty"`
+	Workers        int              `json:"workers,omitempty"`
+	AdmissionLimit int              `json:"admission_limit,omitempty"`
+	IntervalMS     float64          `json:"interval_ms,omitempty"`
+	MinWorkers     int              `json:"min_workers,omitempty"`
+	MaxWorkers     int              `json:"max_workers,omitempty"`
+	Decisions      []tuner.Decision `json:"decisions,omitempty"`
+}
+
+// handleTuner dumps the self-tuning controller's configuration and decision
+// ring. Debug-only: decisions expose load patterns, so the endpoint lives
+// on the loopback listener with the rest of the diagnostic surface.
+func (s *Service) handleTuner(w http.ResponseWriter, r *http.Request) {
+	st := tunerStatus{Enabled: s.tuner != nil}
+	if s.tuner != nil {
+		cfg := s.tuner.Config()
+		st.Epochs = s.tuner.Epochs()
+		st.Workers, st.AdmissionLimit = s.tuner.Settings()
+		st.IntervalMS = float64(cfg.Interval.Milliseconds())
+		st.MinWorkers, st.MaxWorkers = cfg.MinWorkers, cfg.MaxWorkers
+		st.Decisions = s.tuner.Decisions()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		s.log.Warn("tuner dump failed", slog.String("error", err.Error()))
 	}
 }
 

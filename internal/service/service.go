@@ -25,6 +25,7 @@ import (
 	"equalizer/internal/exp"
 	"equalizer/internal/exp/runcache"
 	"equalizer/internal/kernels"
+	"equalizer/internal/service/tuner"
 	"equalizer/internal/telemetry"
 )
 
@@ -56,6 +57,24 @@ type Config struct {
 	// Registry receives every service and harness metric; nil uses a
 	// private registry (still served at /metrics).
 	Registry *telemetry.Registry
+
+	// Tune enables the self-tuning controller: an epoch-based feedback
+	// loop that resizes the run worker pool within [TuneMinWorkers,
+	// TuneMaxWorkers] and adjusts the admission limit from the live queue
+	// depth, occupancy, shed count and request-latency histogram. When
+	// set, Parallelism is ignored — the pool starts at TuneMinWorkers and
+	// the controller climbs from there — and intra-run SM sharding
+	// defaults to 1 (instead of host-derived) so a grown pool never
+	// oversubscribes the cores. The controller only changes scheduling,
+	// never simulation parameters: results stay byte-identical.
+	Tune bool
+	// TuneInterval is the control epoch length (0 = 250ms).
+	TuneInterval time.Duration
+	// TuneMinWorkers and TuneMaxWorkers bound the pool width
+	// (0 = 1 and 4×min).
+	TuneMinWorkers, TuneMaxWorkers int
+	// TuneRingCap sizes the /debug/tuner decision ring (0 = 256).
+	TuneRingCap int
 }
 
 // runFunc executes one run cell; swapped out by lifecycle tests.
@@ -71,12 +90,16 @@ type Service struct {
 	start time.Time
 
 	// Admission control: queued counts every admitted-but-unfinished run
-	// cell (waiting + in flight) against queueCap; sem bounds the cells
-	// actually simulating.
-	sem      chan struct{}
-	queueCap int64
+	// cell (waiting + in flight) against admitCap; the harness's worker
+	// pool bounds the cells actually simulating. admitCap is atomic
+	// because the tuner raises it at runtime.
+	admitCap atomic.Int64
 	queued   atomic.Int64
 	inflight atomic.Int64
+
+	// tuner is the optional self-tuning controller (nil unless
+	// Config.Tune); stopped by StartDrain.
+	tuner *tuner.Controller
 
 	// Drain coordination: workMu serialises the draining flip against
 	// beginWork, wg tracks admitted request work.
@@ -123,10 +146,27 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
+	par := cfg.Parallelism
+	shards := cfg.SMShards
+	tcfg := tuner.Config{
+		Interval:   cfg.TuneInterval,
+		MinWorkers: cfg.TuneMinWorkers,
+		MaxWorkers: cfg.TuneMaxWorkers,
+		RingCap:    cfg.TuneRingCap,
+	}.WithDefaults()
+	if cfg.Tune {
+		// The pool starts at the controller's floor and the controller
+		// climbs from there. Intra-run sharding defaults to sequential so
+		// the pool at its ceiling never oversubscribes the host.
+		par = tcfg.MinWorkers
+		if shards == 0 {
+			shards = 1
+		}
+	}
 	s.h = exp.New(exp.Options{
 		GridScale:   cfg.GridScale,
-		Parallelism: cfg.Parallelism,
-		SMShards:    cfg.SMShards,
+		Parallelism: par,
+		SMShards:    shards,
 		Cache:       cache,
 		Registry:    s.reg,
 		Now:         func() int64 { return int64(time.Since(s.start)) },
@@ -134,7 +174,6 @@ func New(cfg Config) (*Service, error) {
 			s.log.Info(fmt.Sprintf(format, args...))
 		},
 	})
-	s.sem = make(chan struct{}, s.h.Parallelism())
 	depth := cfg.QueueDepth
 	switch {
 	case depth == 0:
@@ -142,7 +181,7 @@ func New(cfg Config) (*Service, error) {
 	case depth < 0:
 		depth = 0
 	}
-	s.queueCap = int64(s.h.Parallelism() + depth)
+	s.admitCap.Store(int64(s.h.Parallelism() + depth))
 	s.traces = newTraceRing(cfg.TraceCapacity)
 	s.idBase = fmt.Sprintf("%x", s.start.UnixNano())
 	s.run = func(ctx context.Context, k kernels.Kernel, setup exp.Setup) (exp.Totals, exp.RunSource, error) {
@@ -161,8 +200,54 @@ func New(cfg Config) (*Service, error) {
 	s.stageEncode = s.reg.Histogram("service_stage_seconds", "per-stage request latency",
 		latencyBounds, telemetry.Labels{"stage": "encode"})
 	s.readyGauge.Set(1)
+	if cfg.Tune {
+		// The admission floor is what the operator configured: the
+		// controller may open admission beyond it under load but never
+		// tighten below it.
+		tcfg.MinAdmit = tcfg.MinWorkers + depth
+		tcfg.MaxAdmit = tcfg.MaxWorkers + 16*depth
+		tcfg.Registry = s.reg
+		s.tuner = tuner.New(tcfg, tuneTarget{s})
+		s.tuner.Start()
+		s.log.Info("tuner started",
+			"interval", tcfg.Interval,
+			"min_workers", tcfg.MinWorkers, "max_workers", tcfg.MaxWorkers)
+	}
 	return s, nil
 }
+
+// tuneTarget adapts the Service to the controller's Target interface.
+type tuneTarget struct{ s *Service }
+
+// Sample snapshots the serving tier's control inputs.
+func (t tuneTarget) Sample() tuner.Sample {
+	s := t.s
+	st := s.h.Pool().Stats()
+	waiting := int(s.queued.Load()) - int(s.inflight.Load())
+	if waiting < 0 {
+		waiting = 0
+	}
+	return tuner.Sample{
+		QueueDepth: waiting,
+		Busy:       st.Busy,
+		Workers:    st.Size,
+		AdmitCap:   int(s.admitCap.Load()),
+		Shed:       s.shed.Value(),
+		Latency:    s.reqHist.Snapshot(),
+	}
+}
+
+// Apply resizes the run worker pool and the admission limit. The pool
+// resize never interrupts an in-flight run: workers retire at task
+// boundaries only.
+func (t tuneTarget) Apply(workers, admitCap int) {
+	t.s.h.Pool().Resize(workers)
+	t.s.admitCap.Store(int64(admitCap))
+	t.s.log.Info("tuner applied", "workers", workers, "admission_limit", admitCap)
+}
+
+// Tuner returns the self-tuning controller, nil unless Config.Tune.
+func (s *Service) Tuner() *tuner.Controller { return s.tuner }
 
 // Harness exposes the underlying experiment harness (load-harness and test
 // plumbing: direct runs for byte-identical comparisons, scheduler stats).
@@ -195,7 +280,7 @@ func (s *Service) nextRequestID() string {
 func (s *Service) admit(n int) bool {
 	for {
 		q := s.queued.Load()
-		if q+int64(n) > s.queueCap {
+		if q+int64(n) > s.admitCap.Load() {
 			return false
 		}
 		if s.queued.CompareAndSwap(q, q+int64(n)) {
@@ -245,8 +330,13 @@ func (s *Service) beginWork() bool {
 }
 
 // StartDrain flips the service into draining mode: /readyz reports 503 and
-// new run submissions are refused, while admitted work keeps running.
+// new run submissions are refused, while admitted work keeps running. The
+// self-tuning controller, if any, stops first — settings freeze at their
+// last applied values for the drain.
 func (s *Service) StartDrain() {
+	if s.tuner != nil {
+		s.tuner.Stop()
+	}
 	s.workMu.Lock()
 	s.draining.Store(true)
 	s.workMu.Unlock()
@@ -273,34 +363,36 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 }
 
-// runCell executes one admitted run cell: wait for a worker slot (the queue
+// runCell executes one admitted run cell: wait for a pool worker (the queue
 // stage), then run through the harness, which itself accounts the dedup,
 // cache-lookup and simulate stages. The cell's admission reservation is
 // released on return.
 func (s *Service) runCell(ctx context.Context, tr *activeTrace, k kernels.Kernel, setup exp.Setup) (exp.Totals, exp.RunSource, error) {
 	defer s.releaseCell()
 	q0 := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
+	var tot exp.Totals
+	var src exp.RunSource
+	var err error
+	poolErr := s.h.Pool().Do(ctx, func() {
 		qd := time.Since(q0)
 		s.stageQueue.Observe(qd.Seconds())
 		tr.addStage("queue", tr.since(q0), qd)
-		return exp.Totals{}, exp.SourceNone, fmt.Errorf("service: canceled while queued: %w", ctx.Err())
-	}
-	qd := time.Since(q0)
-	s.stageQueue.Observe(qd.Seconds())
-	tr.addStage("queue", tr.since(q0), qd)
-	s.inflight.Add(1)
-	s.updateGauges()
-	defer func() {
-		<-s.sem
-		s.inflight.Add(-1)
+		s.inflight.Add(1)
 		s.updateGauges()
-	}()
-	r0 := time.Now()
-	tot, src, err := s.run(ctx, k, setup)
-	tr.addStage("run", tr.since(r0), time.Since(r0))
+		defer func() {
+			s.inflight.Add(-1)
+			s.updateGauges()
+		}()
+		r0 := time.Now()
+		tot, src, err = s.run(ctx, k, setup)
+		tr.addStage("run", tr.since(r0), time.Since(r0))
+	})
+	if poolErr != nil {
+		qd := time.Since(q0)
+		s.stageQueue.Observe(qd.Seconds())
+		tr.addStage("queue", tr.since(q0), qd)
+		return exp.Totals{}, exp.SourceNone, fmt.Errorf("service: canceled while queued: %w", poolErr)
+	}
 	s.updateHitRatio()
 	return tot, src, err
 }

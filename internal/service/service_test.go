@@ -524,3 +524,147 @@ func TestMetricsServer(t *testing.T) {
 	}
 	mu.Unlock()
 }
+
+// TestTunerGrowsUnderQueuePressure: with the controller on and the pool at
+// its one-worker floor, a burst of blocked requests makes the tuner grow
+// the pool and open admission; the resize reaches the live pool.
+func TestTunerGrowsUnderQueuePressure(t *testing.T) {
+	s, srv, release := blockingService(t, Config{
+		QueueDepth: 8,
+		Tune:       true, TuneInterval: 5 * time.Millisecond,
+		TuneMinWorkers: 1, TuneMaxWorkers: 4,
+	})
+	if got := s.h.Parallelism(); got != 1 {
+		t.Fatalf("tuned harness starts at parallelism %d, want the 1-worker floor", got)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: "cutcp"})
+			resp.Body.Close()
+		}()
+	}
+	waitFor(t, "requests queued", func() bool { return s.queued.Load() == 4 })
+	waitFor(t, "tuner grew the pool", func() bool { return s.h.Pool().Size() > 1 })
+	if w, _ := s.Tuner().Settings(); w != s.h.Pool().Size() {
+		t.Errorf("tuner settings %d != pool size %d", w, s.h.Pool().Size())
+	}
+	if s.Tuner().Epochs() == 0 {
+		t.Error("tuner grew without counting epochs")
+	}
+	close(release)
+	wg.Wait()
+
+	// StartDrain stops the controller: epochs freeze.
+	s.StartDrain()
+	frozen := s.Tuner().Epochs()
+	time.Sleep(50 * time.Millisecond)
+	if got := s.Tuner().Epochs(); got != frozen {
+		t.Errorf("tuner still ticking after drain: %d -> %d epochs", frozen, got)
+	}
+}
+
+// TestTunedServiceByteIdentical: results served with the controller on are
+// byte-identical to direct harness runs — the tuner changes scheduling,
+// never computation.
+func TestTunedServiceByteIdentical(t *testing.T) {
+	_, srv := newTestService(t, Config{
+		CacheDir: t.TempDir(),
+		Tune:     true, TuneInterval: 2 * time.Millisecond,
+		TuneMinWorkers: 1, TuneMaxWorkers: 4,
+	})
+
+	direct := exp.New(exp.Options{GridScale: 0.05})
+	var wg sync.WaitGroup
+	for _, name := range []string{"cutcp", "lbm"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			resp := postJSON(t, srv.URL+"/v1/run", RunSpec{Kernel: name})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d", name, resp.StatusCode)
+				resp.Body.Close()
+				return
+			}
+			var rr RunResponse
+			decodeBody(t, resp, &rr)
+			k, err := kernels.ByName(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want, err := direct.Run(k, exp.Baseline())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, _ := json.Marshal(rr.Totals)
+			wantJSON, _ := json.Marshal(want)
+			if !bytes.Equal(got, wantJSON) {
+				t.Errorf("%s: tuned totals differ from direct run:\n got %s\nwant %s", name, got, wantJSON)
+			}
+		}(name)
+	}
+	wg.Wait()
+}
+
+// TestDebugTunerEndpoint: /debug/tuner reports the decision ring on the
+// debug listener only; the public surface 404s it, and an untuned service
+// reports enabled=false.
+func TestDebugTunerEndpoint(t *testing.T) {
+	s, srv := newTestService(t, Config{
+		Tune: true, TuneInterval: 2 * time.Millisecond,
+		TuneMinWorkers: 1, TuneMaxWorkers: 2,
+	})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	waitFor(t, "tuner epochs", func() bool { return s.Tuner().Epochs() > 0 })
+	resp, err := http.Get(dbg.URL + "/debug/tuner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Enabled   bool `json:"enabled"`
+		Epochs    uint64
+		Workers   int
+		Decisions []json.RawMessage `json:"decisions"`
+	}
+	decodeBody(t, resp, &st)
+	if !st.Enabled {
+		t.Error("debug tuner reports enabled=false on a tuned service")
+	}
+	if len(st.Decisions) == 0 {
+		t.Error("debug tuner decision ring is empty after epochs ticked")
+	}
+
+	// The public surface must not leak the controller's view of load.
+	pub, err := http.Get(srv.URL + "/debug/tuner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Body.Close()
+	if pub.StatusCode != http.StatusNotFound {
+		t.Errorf("public /debug/tuner status = %d, want 404", pub.StatusCode)
+	}
+
+	// An untuned service answers, with enabled=false and no ring.
+	s2, _ := newTestService(t, Config{})
+	dbg2 := httptest.NewServer(s2.DebugHandler())
+	defer dbg2.Close()
+	resp2, err := http.Get(dbg2.URL + "/debug/tuner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 struct {
+		Enabled   bool              `json:"enabled"`
+		Decisions []json.RawMessage `json:"decisions"`
+	}
+	decodeBody(t, resp2, &st2)
+	if st2.Enabled || len(st2.Decisions) != 0 {
+		t.Errorf("untuned /debug/tuner = %+v, want enabled=false with empty ring", st2)
+	}
+}

@@ -1,0 +1,106 @@
+package tuner
+
+import "equalizer/internal/telemetry"
+
+// LoadSim is a deterministic closed-loop model of the serving tier used to
+// unit-test the control law without wall time: a fluid approximation where
+// each epoch a batch of requests arrives, the admission limit sheds the
+// overflow, and the worker pool drains PerWorker requests per worker per
+// epoch. Modelled latency grows linearly with the load factor (offered work
+// over capacity), so an under-provisioned pool shows exactly the queueing
+// and tail-latency signals the controller keys on. It implements Target; a
+// test wires it to a Controller and alternates Step with Tick.
+type LoadSim struct {
+	// PerWorker is how many requests one worker completes per epoch.
+	PerWorker int
+	// Service is the base per-request latency in seconds at an unloaded
+	// pool; queueing multiplies it by (1 + load factor).
+	Service float64
+
+	workers int
+	admit   int
+	applies int
+	backlog int
+	busy    int
+	shed    uint64
+	hist    *telemetry.Histogram
+}
+
+// NewLoadSim builds a simulator completing perWorker requests per worker
+// per epoch, with the given unloaded per-request latency.
+func NewLoadSim(perWorker int, service float64) *LoadSim {
+	reg := telemetry.NewRegistry()
+	return &LoadSim{
+		PerWorker: perWorker,
+		Service:   service,
+		workers:   1,
+		admit:     1,
+		hist: reg.Histogram("sim_request_seconds", "modelled request latency",
+			[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}, nil),
+	}
+}
+
+// Apply implements Target.
+func (l *LoadSim) Apply(workers, admitCap int) {
+	l.workers = workers
+	l.admit = admitCap
+	l.applies++
+}
+
+// Applies returns how many times the controller resized the simulator.
+func (l *LoadSim) Applies() int { return l.applies }
+
+// Backlog returns the requests still waiting at the end of the last step.
+func (l *LoadSim) Backlog() int { return l.backlog }
+
+// TotalShed returns the cumulative count of requests shed by admission.
+func (l *LoadSim) TotalShed() uint64 { return l.shed }
+
+// Step advances one epoch with the given number of arriving requests:
+// admission sheds what exceeds the limit, the pool serves what capacity
+// allows, and each served request observes a latency scaled by the load
+// factor. The remainder carries over as backlog.
+func (l *LoadSim) Step(arrivals int) {
+	offered := l.backlog + arrivals
+	if offered > l.admit {
+		l.shed += uint64(offered - l.admit)
+		offered = l.admit
+	}
+	capacity := l.workers * l.PerWorker
+	served := offered
+	if served > capacity {
+		served = capacity
+	}
+	if capacity > 0 && served > 0 {
+		lat := l.Service * (1 + float64(offered)/float64(capacity))
+		for i := 0; i < served; i++ {
+			l.hist.Observe(lat)
+		}
+	}
+	l.backlog = offered - served
+	// Occupancy at sample time: a backlog means every worker is busy;
+	// otherwise the served load maps onto ceil(served/PerWorker) workers.
+	switch {
+	case l.backlog > 0:
+		l.busy = l.workers
+	case l.PerWorker > 0:
+		l.busy = (served + l.PerWorker - 1) / l.PerWorker
+	default:
+		l.busy = 0
+	}
+	if l.busy > l.workers {
+		l.busy = l.workers
+	}
+}
+
+// Sample implements Target.
+func (l *LoadSim) Sample() Sample {
+	return Sample{
+		QueueDepth: l.backlog,
+		Busy:       l.busy,
+		Workers:    l.workers,
+		AdmitCap:   l.admit,
+		Shed:       l.shed,
+		Latency:    l.hist.Snapshot(),
+	}
+}

@@ -78,6 +78,96 @@ func (h *Histogram) Count() uint64 { return h.total.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// HistSnapshot is a point-in-time copy of a histogram's buckets. Feedback
+// controllers snapshot a cumulative histogram every epoch and difference
+// consecutive snapshots (Sub) to get per-epoch distributions, then estimate
+// tail quantiles (Quantile) from the delta.
+type HistSnapshot struct {
+	// Bounds are the upper bucket bounds, ascending; Counts has one extra
+	// trailing cell for the implicit +Inf bucket. Bounds aliases the
+	// histogram's immutable bounds slice — do not mutate.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's current buckets. The per-bucket loads are
+// not mutually atomic; under concurrent observation a snapshot may be off
+// by the handful of samples that landed mid-copy, which is harmless for
+// control and reporting uses.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the per-bucket difference s - prev: the distribution of the
+// observations that arrived between the two snapshots. A zero-value prev
+// returns s unchanged. Buckets that would go negative (mismatched
+// snapshots) clamp to zero.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Bounds: s.Bounds, Counts: make([]uint64, len(s.Counts)), Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		var p uint64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if s.Counts[i] > p {
+			d.Counts[i] = s.Counts[i] - p
+		}
+		d.Count += d.Counts[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the snapshot by linear
+// interpolation within the bucket that contains the target rank, the
+// standard Prometheus histogram_quantile estimate. The +Inf bucket reports
+// its lower bound (the largest finite bound). An empty snapshot returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, n := range s.Counts {
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no finite upper bound to interpolate to.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		below := cum - float64(n)
+		frac := (rank - below) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // series is one labeled instance of a metric family.
 type series struct {
 	labels Labels

@@ -153,3 +153,63 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 4000", got)
 	}
 }
+
+// TestHistogramSnapshotSubQuantile: snapshots copy the buckets, Sub yields
+// the epoch delta, and Quantile interpolates within the containing bucket.
+func TestHistogramSnapshotSubQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.01, 0.1, 1}, nil)
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	s1 := h.Snapshot()
+	if s1.Count != 100 || s1.Counts[0] != 90 || s1.Counts[1] != 10 {
+		t.Fatalf("snapshot = %+v", s1)
+	}
+	// p95 rank=95 lands 5 samples into the second bucket (0.01..0.1):
+	// 0.01 + (5/10)*0.09 = 0.055.
+	if got := s1.Quantile(0.95); got < 0.054 || got > 0.056 {
+		t.Errorf("p95 = %g, want ~0.055", got)
+	}
+	// p50 is inside the first bucket: 0 + (50/90)*0.01.
+	if got := s1.Quantile(0.50); got < 0.0055 || got > 0.0057 {
+		t.Errorf("p50 = %g, want ~0.00556", got)
+	}
+
+	// A second epoch of slower observations; the delta sees only them.
+	for i := 0; i < 20; i++ {
+		h.Observe(0.5)
+	}
+	d := h.Snapshot().Sub(s1)
+	if d.Count != 20 || d.Counts[2] != 20 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if got := d.Quantile(0.95); got < 0.1 || got > 1 {
+		t.Errorf("delta p95 = %g, want in (0.1, 1]", got)
+	}
+
+	// Empty delta and empty snapshot are well-defined.
+	if got := d.Sub(d).Quantile(0.95); got != 0 {
+		t.Errorf("empty delta quantile = %g, want 0", got)
+	}
+	var zero HistSnapshot
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Errorf("zero snapshot quantile = %g, want 0", got)
+	}
+}
+
+// TestHistogramSnapshotInfBucket: a quantile falling in the +Inf bucket
+// reports the largest finite bound instead of infinity.
+func TestHistogramSnapshotInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat2", "", []float64{0.01, 0.1}, nil)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // beyond every finite bound
+	}
+	if got := h.Snapshot().Quantile(0.99); got != 0.1 {
+		t.Errorf("+Inf-bucket quantile = %g, want 0.1", got)
+	}
+}
