@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"equalizer/internal/barrier"
 	"equalizer/internal/config"
 	"equalizer/internal/core"
 	"equalizer/internal/gpu"
@@ -22,16 +23,22 @@ import (
 // engine's. Wall-clock timing lives here in cmd because the internal
 // simulator packages are under the nodeterminism analyzer's wall-clock ban.
 
-// engineRun is one (kernel, engine, shards) measurement.
+// engineRun is one (kernel, engine, shards) measurement. BarrierRounds and
+// BatchedCycles come from gpu.ShardStats: rounds crossed by the spin-park
+// phase barrier and SM cycles retired inside idle-window batches — on a
+// compute-bound kernel the rounds stay well below sm_cycles, which is the
+// batching win made visible.
 type engineRun struct {
-	Kernel       string  `json:"kernel"`
-	Bound        string  `json:"bound"`
-	Engine       string  `json:"engine"`
-	FastForward  bool    `json:"fastforward"`
-	Shards       int     `json:"shards"`
-	SMCycles     int64   `json:"sm_cycles"`
-	ElapsedSec   float64 `json:"elapsed_sec"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Kernel        string  `json:"kernel"`
+	Bound         string  `json:"bound"`
+	Engine        string  `json:"engine"`
+	FastForward   bool    `json:"fastforward"`
+	Shards        int     `json:"shards"`
+	SMCycles      int64   `json:"sm_cycles"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+	BarrierRounds uint64  `json:"barrier_rounds"`
+	BatchedCycles uint64  `json:"batched_cycles"`
 }
 
 // engineMeta records the execution environment of one report, so trajectory
@@ -43,6 +50,11 @@ type engineMeta struct {
 	GoVersion  string `json:"go_version"`
 	NumSMs     int    `json:"num_sms"`
 	Shards     []int  `json:"shard_axis"`
+	// BarrierImpl and SpinBudget identify the shard-engine synchronization
+	// in force; Batching records whether idle-window cycle batching was on.
+	BarrierImpl string `json:"barrier_impl"`
+	SpinBudget  int    `json:"spin_budget"`
+	Batching    bool   `json:"batching"`
 }
 
 // engineReport is the JSON form of -exp engine (BENCH_engine.json).
@@ -79,6 +91,9 @@ func engineShardAxis(requested, numSMs int) []int {
 	}
 	axis := []int{1, 2}
 	if full := gpu.AutoShards(1, numSMs); full > 2 {
+		if full > 4 {
+			axis = append(axis, 4)
+		}
 		axis = append(axis, full)
 	}
 	return axis
@@ -89,11 +104,14 @@ func engineBench(scale float64, smShards int) (engineReport, error) {
 	axis := engineShardAxis(smShards, cfg.NumSMs)
 	rep := engineReport{
 		Meta: engineMeta{
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-			GoVersion:  runtime.Version(),
-			NumSMs:     cfg.NumSMs,
-			Shards:     axis,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			GoVersion:   runtime.Version(),
+			NumSMs:      cfg.NumSMs,
+			Shards:      axis,
+			BarrierImpl: "spin-park",
+			SpinBudget:  barrier.SpinBudget,
+			Batching:    true,
 		},
 		Speedup:      map[string]float64{},
 		ShardSpeedup: map[string]float64{},
@@ -126,11 +144,14 @@ func engineBench(scale float64, smShards int) (engineReport, error) {
 					cycles += res.SMCycles
 				}
 				elapsed := time.Since(start).Seconds()
+				ss := m.ShardStats()
 				r := engineRun{
 					Kernel: c.kernel, Bound: c.bound, Engine: engine,
 					FastForward: engine == "fast", Shards: shards,
 					SMCycles: cycles, ElapsedSec: elapsed,
-					CyclesPerSec: float64(cycles) / elapsed,
+					CyclesPerSec:  float64(cycles) / elapsed,
+					BarrierRounds: ss.Barriers,
+					BatchedCycles: ss.BatchedCycles,
 				}
 				rep.Runs = append(rep.Runs, r)
 				if shards == 1 {
@@ -149,13 +170,16 @@ func engineBench(scale float64, smShards int) (engineReport, error) {
 func renderEngine(rep engineReport) string {
 	var b strings.Builder
 	b.WriteString("Cycle-engine throughput (simulated SM cycles per wall second)\n")
-	fmt.Fprintf(&b, "%s, GOMAXPROCS=%d, %d CPUs\n",
-		rep.Meta.GoVersion, rep.Meta.GoMaxProcs, rep.Meta.NumCPU)
-	fmt.Fprintf(&b, "%-8s %-8s %-7s %7s %12s %9s %14s\n",
-		"kernel", "bound", "engine", "shards", "sm-cycles", "wall-s", "cycles/s")
+	fmt.Fprintf(&b, "%s, GOMAXPROCS=%d, %d CPUs, %s barrier (spin budget %d)\n",
+		rep.Meta.GoVersion, rep.Meta.GoMaxProcs, rep.Meta.NumCPU,
+		rep.Meta.BarrierImpl, rep.Meta.SpinBudget)
+	fmt.Fprintf(&b, "%-8s %-8s %-7s %7s %12s %9s %14s %14s %13s\n",
+		"kernel", "bound", "engine", "shards", "sm-cycles", "wall-s", "cycles/s",
+		"barrier-rounds", "batched-cyc")
 	for _, r := range rep.Runs {
-		fmt.Fprintf(&b, "%-8s %-8s %-7s %7d %12d %9.3f %14.0f\n",
-			r.Kernel, r.Bound, r.Engine, r.Shards, r.SMCycles, r.ElapsedSec, r.CyclesPerSec)
+		fmt.Fprintf(&b, "%-8s %-8s %-7s %7d %12d %9.3f %14.0f %14d %13d\n",
+			r.Kernel, r.Bound, r.Engine, r.Shards, r.SMCycles, r.ElapsedSec, r.CyclesPerSec,
+			r.BarrierRounds, r.BatchedCycles)
 	}
 	for _, c := range engineCases {
 		fmt.Fprintf(&b, "%s fast-engine speedup: %.2fx, shard speedup: %.2fx\n",

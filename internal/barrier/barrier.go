@@ -1,0 +1,131 @@
+// Package barrier provides a reusable sense-reversing spin-then-park
+// barrier for the sharded cycle engine.
+//
+// The shard engine's phase protocol needs every participant to meet twice
+// per dispatched round: once so workers observe the published job, and once
+// so the coordinator observes every worker's effects. The previous
+// implementation paid two full scheduler round-trips per meeting (a channel
+// send to wake each worker, a sync.WaitGroup to collect them). On simulated
+// cycles that take tens of nanoseconds of real work, those round-trips
+// dominate the whole run.
+//
+// This barrier makes the steady-state meeting cost two atomic operations:
+// the last arriver flips a shared sense word; everyone else spins on it for
+// a bounded budget before parking. Parking uses a mutex + condition
+// variable rather than a per-round channel: a channel park would need a
+// fresh channel (one allocation) every round that any party sleeps, which
+// on a saturated host is every round — breaking the engine's steady-state
+// zero-allocation guarantee. The condvar park allocates nothing after
+// construction and provides the same wake semantics.
+//
+// Memory model: the barrier is sequentially consistent at the round
+// boundary. The releaser resets the arrival count *before* flipping the
+// sense word, and parties for the next round cannot start decrementing the
+// count until they have observed the flip, so a reset can never race with a
+// fresh arrival. A parked party re-checks the sense word under the mutex
+// before sleeping, and the releaser broadcasts under the same mutex, so no
+// wakeup can be lost. A party parked in round N blocks round N+1 from
+// completing (it has not yet arrived at N+1), so the sense word cannot
+// advance past the value the parked party is waiting for.
+package barrier
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SpinBudget is the default number of sense-word polls a waiting party
+// performs before parking. The budget is deliberately generous: a simulated
+// SM cycle costs on the order of a hundred nanoseconds, so peers arrive
+// within a few thousand polls and the park path is cold on a host with a
+// core per party.
+const SpinBudget = 8192
+
+// goschedEvery bounds how long a spinning party can starve the scheduler on
+// an oversubscribed host: every goschedEvery polls it offers its thread to
+// the runtime.
+const goschedEvery = 64
+
+// Barrier is a reusable sense-reversing phase barrier for a fixed set of
+// parties. Each party keeps a private sense word (initially zero) and
+// passes it to every Wait call; the barrier flips the shared sense once per
+// round. The zero value is not usable; construct with New.
+type Barrier struct {
+	parties int32
+	spin    int
+
+	count atomic.Int32  // arrivals remaining this round (counts down)
+	sense atomic.Uint32 // shared sense word, flips once per round
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked int // parties asleep on cond, guarded by mu
+}
+
+// New returns a barrier for the given number of parties. spin is the
+// per-wait poll budget before parking; zero parks immediately (the right
+// choice when the host cannot run all parties at once). Use DefaultSpin to
+// pick a budget from the host's parallelism.
+func New(parties, spin int) *Barrier {
+	if parties < 1 {
+		panic("barrier: parties must be >= 1")
+	}
+	b := &Barrier{parties: int32(parties), spin: spin}
+	b.count.Store(int32(parties))
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// DefaultSpin returns the spin budget for a barrier whose parties include
+// the coordinator plus `workers` shard workers. When the host cannot run
+// every party on its own core, spinning only steals cycles from the peers
+// being waited on, so the budget collapses to zero (park immediately).
+func DefaultSpin(workers int) int {
+	if runtime.GOMAXPROCS(0) <= workers {
+		return 0
+	}
+	return SpinBudget
+}
+
+// Parties returns the number of participants the barrier was built for.
+func (b *Barrier) Parties() int { return int(b.parties) }
+
+// Wait blocks until all parties have called Wait for the current round.
+// sense points at the caller's private sense word; Wait flips it on return.
+// Each party must use its own word and must not skip rounds (except that a
+// party may exit the protocol entirely after returning from a Wait).
+func (b *Barrier) Wait(sense *uint32) {
+	s := *sense ^ 1
+	if b.count.Add(-1) == 0 {
+		// Last arriver: release the round. Reset the count before
+		// flipping the sense so next-round arrivals (which first
+		// observe the flip) always see a full count.
+		b.count.Store(b.parties)
+		b.sense.Store(s)
+		b.mu.Lock()
+		if b.parked > 0 {
+			b.cond.Broadcast()
+		}
+		b.mu.Unlock()
+		*sense = s
+		return
+	}
+	for i := 0; i < b.spin; i++ {
+		if b.sense.Load() == s {
+			*sense = s
+			return
+		}
+		if i%goschedEvery == goschedEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	b.mu.Lock()
+	for b.sense.Load() != s {
+		b.parked++
+		b.cond.Wait()
+		b.parked--
+	}
+	b.mu.Unlock()
+	*sense = s
+}

@@ -1,0 +1,207 @@
+package barrier
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBarrierReuse drives the engine's two-wait round protocol for many
+// rounds: the coordinator publishes a value, workers read it after the
+// start wait and write their answer, and the coordinator checks every
+// answer after the done wait. Any missed round, lost wakeup, or stale sense
+// shows up as a wrong or torn answer.
+func TestBarrierReuse(t *testing.T) {
+	for _, spin := range []int{0, 1, SpinBudget} {
+		workers := 4
+		b := New(workers+1, spin)
+		job := 0
+		out := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var sense uint32
+				for {
+					b.Wait(&sense)
+					j := job
+					if j < 0 {
+						return
+					}
+					out[w] = j * (w + 1)
+					b.Wait(&sense)
+				}
+			}(w)
+		}
+		var sense uint32
+		const rounds = 200
+		for r := 1; r <= rounds; r++ {
+			job = r
+			b.Wait(&sense)
+			b.Wait(&sense)
+			for w := 0; w < workers; w++ {
+				if out[w] != r*(w+1) {
+					t.Fatalf("spin=%d round %d: worker %d wrote %d, want %d", spin, r, w, out[w], r*(w+1))
+				}
+			}
+		}
+		job = -1
+		b.Wait(&sense)
+		wg.Wait()
+	}
+}
+
+// TestBarrierSenseReversal checks that each Wait flips the caller's private
+// sense word and that the shared word tracks the completed round count.
+func TestBarrierSenseReversal(t *testing.T) {
+	b := New(1, 0)
+	var sense uint32
+	for round := 1; round <= 5; round++ {
+		prev := sense
+		b.Wait(&sense)
+		if sense == prev {
+			t.Fatalf("round %d: private sense did not flip (still %d)", round, prev)
+		}
+		if got := b.sense.Load(); got != sense {
+			t.Fatalf("round %d: shared sense %d, private sense %d", round, got, sense)
+		}
+	}
+}
+
+// TestBarrierParkPath forces every waiter onto the park path (spin budget
+// zero) on a single-proc scheduler, the configuration DefaultSpin selects
+// when GOMAXPROCS <= shard count. The round must still complete.
+func TestBarrierParkPath(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	workers := 3
+	b := New(workers+1, 0)
+	var hits atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sense uint32
+			for r := 0; r < 50; r++ {
+				b.Wait(&sense)
+				hits.Add(1)
+				b.Wait(&sense)
+			}
+		}()
+	}
+	var sense uint32
+	for r := 0; r < 50; r++ {
+		b.Wait(&sense)
+		b.Wait(&sense)
+	}
+	wg.Wait()
+	if got := hits.Load(); got != int32(workers*50) {
+		t.Fatalf("park-path rounds: %d worker iterations, want %d", got, workers*50)
+	}
+}
+
+func TestDefaultSpin(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if got := DefaultSpin(procs); got != 0 {
+		t.Fatalf("DefaultSpin(%d) = %d on a %d-proc host, want 0", procs, got, procs)
+	}
+	if procs > 1 {
+		if got := DefaultSpin(procs - 1); got != SpinBudget {
+			t.Fatalf("DefaultSpin(%d) = %d, want %d", procs-1, got, SpinBudget)
+		}
+	}
+	if got := DefaultSpin(0); got != SpinBudget && runtime.GOMAXPROCS(0) > 0 {
+		t.Fatalf("DefaultSpin(0) = %d, want %d", got, SpinBudget)
+	}
+}
+
+func TestNewPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 0) did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+// BenchmarkBarrier compares a full engine round (coordinator publishes,
+// workers run an empty job, coordinator collects) across the spin-park
+// barrier and a model of the legacy channel+WaitGroup protocol.
+func BenchmarkBarrier(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		if workers > runtime.GOMAXPROCS(0) {
+			continue
+		}
+		b.Run(benchName("spinpark", workers), func(b *testing.B) {
+			benchSpinPark(b, workers)
+		})
+		b.Run(benchName("chanwg", workers), func(b *testing.B) {
+			benchChanWG(b, workers)
+		})
+	}
+}
+
+func benchName(impl string, workers int) string {
+	return impl + "/workers=" + string(rune('0'+workers))
+}
+
+func benchSpinPark(b *testing.B, workers int) {
+	bar := New(workers+1, DefaultSpin(workers))
+	stop := false
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sense uint32
+			for {
+				bar.Wait(&sense)
+				if stop {
+					return
+				}
+				bar.Wait(&sense)
+			}
+		}()
+	}
+	var sense uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bar.Wait(&sense)
+		bar.Wait(&sense)
+	}
+	b.StopTimer()
+	stop = true
+	bar.Wait(&sense)
+	wg.Wait()
+}
+
+// benchChanWG reproduces the pre-barrier engine round: one buffered channel
+// send per worker to start the round, a WaitGroup wait to end it.
+func benchChanWG(b *testing.B, workers int) {
+	jobs := make([]chan struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		jobs[w] = make(chan struct{}, 1)
+		go func(ch chan struct{}) {
+			for range ch {
+				wg.Done()
+			}
+		}(jobs[w])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			jobs[w] <- struct{}{}
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	for w := 0; w < workers; w++ {
+		close(jobs[w])
+	}
+}

@@ -46,6 +46,9 @@ type Options struct {
 	// host via gpu.AutoShards so the shard workers and the Parallelism
 	// worker pool together never oversubscribe the cores — a saturated pool
 	// gets sequential machines; a single-run harness gets the whole host.
+	// With 0, the width is recomputed per simulation against the LIVE pool
+	// size: the service tuner may resize the pool at runtime, and the shard
+	// budget tracks it. An explicit positive value pins the width forever.
 	SMShards int
 	// Cache is the persistent on-disk result store; nil disables disk
 	// caching (in-process memoisation always applies).
@@ -73,15 +76,16 @@ type Options struct {
 // when prefetches race, and it executes declared run grids on a bounded
 // worker pool. Safe for concurrent use.
 type Harness struct {
-	gpuCfg   config.GPU
-	pwrCfg   power.Config
-	scale    float64
-	par      int
-	smShards int
-	pool     *workpool.Pool
-	cache    *runcache.Cache
-	logf     func(format string, args ...interface{})
-	now      func() int64
+	gpuCfg     config.GPU
+	pwrCfg     power.Config
+	scale      float64
+	par        int
+	smShards   int
+	autoShards bool
+	pool       *workpool.Pool
+	cache      *runcache.Cache
+	logf       func(format string, args ...interface{})
+	now        func() int64
 
 	mu   sync.Mutex
 	memo map[runKey]*memoEntry
@@ -139,6 +143,7 @@ func New(opts Options) *Harness {
 	}
 	h.smShards = opts.SMShards
 	if h.smShards <= 0 {
+		h.autoShards = true
 		h.smShards = gpu.AutoShards(h.par, h.gpuCfg.NumSMs)
 	}
 	h.pool = workpool.New(h.par)
@@ -205,8 +210,24 @@ func (h *Harness) Parallelism() int { return h.par }
 // never what a run computes.
 func (h *Harness) Pool() *workpool.Pool { return h.pool }
 
-// SMShards returns the effective per-machine intra-run worker count.
+// SMShards returns the per-machine intra-run worker count the harness was
+// built with. In auto mode this is a snapshot against the initial pool
+// width; each simulation recomputes the live value (effectiveShardsAt), so
+// a tuner-resized pool shifts the shard budget without rebuilding the
+// harness.
 func (h *Harness) SMShards() int { return h.smShards }
+
+// effectiveShardsAt returns the shard width a simulation started now should
+// use, given the host's scheduler width. An explicit Options.SMShards pins
+// the width; auto mode re-derives it from the LIVE pool size, so a pool the
+// service tuner has grown to saturation yields sequential machines and a
+// shrunken pool hands the freed cores to the shard workers.
+func (h *Harness) effectiveShardsAt(procs int) int {
+	if !h.autoShards {
+		return h.smShards
+	}
+	return gpu.AutoShardsAt(procs, h.pool.Size(), h.gpuCfg.NumSMs)
+}
 
 // SchedulerStats snapshots the harness's run and cache counters.
 type SchedulerStats struct {
@@ -515,7 +536,7 @@ func (h *Harness) simulate(ctx context.Context, k kernels.Kernel, s Setup) (Tota
 	if err != nil {
 		return Totals{}, err
 	}
-	m.SetSMShards(h.smShards)
+	m.SetSMShards(h.effectiveShardsAt(runtime.GOMAXPROCS(0)))
 	defer func() {
 		ss := m.ShardStats()
 		h.shardBarriers.Add(ss.Barriers)

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestEffectiveShardsTracksPoolResize pins the shard-budget recomputation
+// against PR 9's resizable worker pool: in auto mode (Options.SMShards = 0)
+// the per-simulation shard width must be derived from the LIVE pool size,
+// not the width the harness was built with — a tuner that grows the pool to
+// saturation must push new simulations to sequential machines, and one that
+// shrinks it must hand the freed cores to shard workers.
+func TestEffectiveShardsTracksPoolResize(t *testing.T) {
+	h := New(Options{Parallelism: 2})
+	if !h.autoShards {
+		t.Fatal("SMShards=0 did not enable auto shard mode")
+	}
+	numSMs := h.gpuCfg.NumSMs
+	for _, tc := range []struct {
+		poolSize, procs, want int
+	}{
+		{1, 8, 8},  // lone runner gets the whole host
+		{4, 8, 2},  // half-busy pool splits the cores
+		{8, 8, 1},  // saturated pool: sequential machines
+		{16, 8, 1}, // oversubscribed pool clamps to 1
+	} {
+		h.pool.Resize(tc.poolSize)
+		if got := h.effectiveShardsAt(tc.procs); got != tc.want {
+			t.Errorf("effectiveShardsAt(procs=%d) with pool size %d = %d, want %d",
+				tc.procs, tc.poolSize, got, tc.want)
+		}
+	}
+	// A huge host still caps the width at one worker per SM.
+	h.pool.Resize(1)
+	if got := h.effectiveShardsAt(4 * numSMs); got != numSMs {
+		t.Errorf("effectiveShardsAt(procs=%d) = %d, want NumSMs cap %d", 4*numSMs, got, numSMs)
+	}
+
+	// An explicit SMShards pins the width no matter how the pool moves.
+	hp := New(Options{Parallelism: 2, SMShards: 3})
+	if hp.autoShards {
+		t.Fatal("explicit SMShards left auto shard mode on")
+	}
+	hp.pool.Resize(64)
+	if got := hp.effectiveShardsAt(128); got != 3 {
+		t.Errorf("pinned harness effectiveShardsAt = %d, want 3", got)
+	}
+	if got := hp.SMShards(); got != 3 {
+		t.Errorf("SMShards() = %d, want 3", got)
+	}
+}

@@ -19,10 +19,14 @@ import (
 const allocBudgetPerRun = 64
 
 // allocBudgetPerRunSharded adds the shard engine's per-run setup to the
-// budget: worker goroutines, their job channels and the engine descriptor
-// are created at run start (per-run, amortised over millions of cycles) —
-// the barrier round trips themselves must stay allocation-free.
-const allocBudgetPerRunSharded = 192
+// budget: worker goroutines and the engine descriptor are created at run
+// start (per-run, amortised over millions of cycles) — the spin-then-park
+// barrier rounds themselves must stay allocation-free, which is why the
+// park path reuses one mutex/cond pair instead of a per-round channel.
+// Replacing the per-worker job channels with the shared barrier brought a
+// warm sharded run under 20 allocations (the previous budget was 192); the
+// tightened budget keeps headroom for allocator noise only.
+const allocBudgetPerRunSharded = 128
 
 // TestSteadyStateRunAllocations is the hot-loop allocation pin, in the
 // spirit of telemetry's TestDisabledEmitIsAllocationFree: before the waiter

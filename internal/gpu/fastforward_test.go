@@ -34,9 +34,20 @@ type capture struct {
 
 // runCapture executes invocations of tasks on a fresh machine with the
 // fast-forward engine on or off, the SMs stepped by shards workers
-// (1 = sequential), and captures every observable output.
+// (1 = sequential), and captures every observable output. Cycle batching and
+// memory-domain sharding stay at their defaults (on); runCaptureKnobs pins
+// them explicitly.
 func runCapture(t *testing.T, tasks []gpu.Task, invocations int,
 	mkPolicy func() gpu.Policy, mask telemetry.Mask, fastForward bool, shards int) capture {
+	t.Helper()
+	return runCaptureKnobs(t, tasks, invocations, mkPolicy, mask, fastForward, shards, true, true)
+}
+
+// runCaptureKnobs is runCapture with the idle-window cycle-batching and
+// memory-domain-sharding escape hatches pinned explicitly.
+func runCaptureKnobs(t *testing.T, tasks []gpu.Task, invocations int,
+	mkPolicy func() gpu.Policy, mask telemetry.Mask, fastForward bool, shards int,
+	batching, memSharding bool) capture {
 	t.Helper()
 	var pol gpu.Policy
 	if mkPolicy != nil {
@@ -45,6 +56,8 @@ func runCapture(t *testing.T, tasks []gpu.Task, invocations int,
 	m := gpu.MustNew(config.Default(), power.Default(), pol)
 	m.SetFastForward(fastForward)
 	m.SetSMShards(shards)
+	m.SetCycleBatching(batching)
+	m.SetMemSharding(memSharding)
 	bus := telemetry.NewBus(1<<15, mask)
 	m.AttachTelemetry(bus)
 

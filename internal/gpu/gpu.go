@@ -57,6 +57,24 @@ type FastForwardAware interface {
 	AccumulateSpan(m *Machine, fromCycle, toCycle int64)
 }
 
+// BatchAware is the policy extension the idle-window batch engine needs on
+// top of FastForwardAware. Unlike a fast-forward span, the SMs keep
+// executing real cycles inside a batched window, so the engine cannot
+// replay the policy's accumulation arithmetically — instead it calls
+// OnSMCycle once, at the window's last cycle, and needs the policy's
+// promise that all the skipped calls were no-ops: OnSMCycle(m, _, c) must
+// be a pure no-op for every cycle c with smCycle < c < NextSampleCycle(smCycle).
+// The window is capped so it ends at or before NextSampleCycle, where the
+// one real call observes machine state identical to the sequential loop's
+// (every batched cycle is a real Step).
+type BatchAware interface {
+	FastForwardAware
+	// NextSampleCycle returns the smallest cycle index c > smCycle at which
+	// OnSMCycle does anything at all (sampling included, not just
+	// machine-mutating epochs — contrast NextActiveCycle).
+	NextSampleCycle(smCycle int64) int64
+}
+
 // newMemController selects the DRAM model from the configuration.
 func newMemController(cfg config.GPU) memController {
 	if cfg.DRAMBanks > 0 {
@@ -154,6 +172,22 @@ type Machine struct {
 	// bitset schedulers); the -fastforward=false escape hatch restores the
 	// strictly per-cycle legacy loop.
 	fastForward bool
+	// batching enables idle-window cycle batching: when the memory domain is
+	// provably idle for the next k SM cycles (every SM's BatchBound covers
+	// them), the loop steps all k cycles in one engine round. Requires
+	// fastForward; SetCycleBatching is the differential-test escape hatch.
+	batching bool
+	// memSharding routes the per-SM endpoint half of memory-domain cycles
+	// (L1 fills/wakes, outbox port pushes) through the shard workers when an
+	// engine is active and the telemetry mask proves the work emission-free.
+	memSharding bool
+	// memShardable caches the per-run telemetry-mask check for memSharding;
+	// memDeliveries stages one memory cycle's deliveries in sequential order
+	// and replyStageFn is the once-allocated PopReady callback appending to
+	// it.
+	memShardable  bool
+	memDeliveries []icnt.Request
+	replyStageFn  func(r icnt.Request)
 
 	// Intra-run SM sharding. smShards is the requested worker count
 	// (<=1 = sequential); engine is non-nil only while a sharded invocation
@@ -213,6 +247,8 @@ func New(cfg config.GPU, pcfg power.Config, policy Policy) (*Machine, error) {
 		meter:        power.NewMeter(pcfg),
 		policy:       policy,
 		fastForward:  true,
+		batching:     true,
+		memSharding:  true,
 		lastSMLevel:  config.VFNormal,
 		lastMemLevel: config.VFNormal,
 	}
@@ -223,6 +259,7 @@ func New(cfg config.GPU, pcfg power.Config, policy Policy) (*Machine, error) {
 	m.deliverFn = func(r icnt.Request) {
 		m.sms[r.SM].DeliverLine(r.Line, clock.Time(m.lastMemNowPS))
 	}
+	m.replyStageFn = m.stageReply
 	return m, nil
 }
 
@@ -275,6 +312,29 @@ func (m *Machine) SetFastForward(enabled bool) {
 
 // FastForwardEnabled reports whether the fast-path engine is active.
 func (m *Machine) FastForwardEnabled() bool { return m.fastForward }
+
+// SetCycleBatching enables or disables idle-window cycle batching (default
+// on). Batching is byte-identical to per-cycle stepping — it only groups
+// real Step calls whose interleaved coordinator work is provably no-op —
+// and requires fast-forward mode; the setter exists for differential tests
+// and debugging. Call between runs, not mid-invocation.
+func (m *Machine) SetCycleBatching(enabled bool) { m.batching = enabled }
+
+// CycleBatchingEnabled reports whether idle-window batching is active
+// (it additionally requires fast-forward mode and a BatchAware or nil
+// policy at run time).
+func (m *Machine) CycleBatchingEnabled() bool { return m.batching }
+
+// SetMemSharding enables or disables sharded memory-domain endpoint
+// stepping (default on). It only applies to sharded runs whose telemetry
+// mask excludes the kinds the endpoint work could emit, and is
+// byte-identical to the sequential memory step; the setter exists for
+// differential tests and debugging. Call between runs, not mid-invocation.
+func (m *Machine) SetMemSharding(enabled bool) { m.memSharding = enabled }
+
+// MemShardingEnabled reports whether sharded memory-domain stepping is
+// requested.
+func (m *Machine) MemShardingEnabled() bool { return m.memSharding }
 
 // SetSMShards sets the intra-run worker count: n > 1 partitions the SMs into
 // n contiguous shards stepped by concurrent workers under a phase barrier,
@@ -368,6 +428,7 @@ func (m *Machine) partitionOf(i int) *partition {
 		}
 	}
 	// No run configured yet: report hardware defaults.
+	//eqlint:allow allocfree -- fallback reached only before a run is configured; in-run hot-path queries always hit the loop above
 	return &partition{maxRes: m.cfg.MaxBlocksPerSM, wcta: 1}
 }
 
@@ -575,16 +636,25 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 		}
 		m.engine = newShardEngine(m, shards)
 		defer func() {
+			m.engine.stop()
 			m.shardStats.Barriers += m.engine.barriers
 			m.shardStats.StepCycles += m.engine.stepCycles
+			m.shardStats.BatchedCycles += m.engine.batchedCycles
 			m.shardStats.FastForwardCycles += m.engine.ffCycles
-			m.engine.stop()
+			m.shardStats.MemRounds += m.engine.memRounds
 			m.engine = nil
 			for _, s := range m.sms {
 				s.SetProbe(m.bus)
 			}
 		}()
 	}
+	// Sharded memory-domain stepping is legal only when the endpoint work is
+	// provably emission-free: DeliverLine can emit L1 evictions and the
+	// network push path emits queue/stall events, so any of those kinds in
+	// the mask forces the sequential memory step (which stages nothing).
+	m.memShardable = m.engine != nil && m.memSharding &&
+		(m.bus == nil || m.bus.Mask()&telemetry.MaskOf(
+			telemetry.KindL1Evict, telemetry.KindICNTQueue, telemetry.KindICNTStall) == 0)
 
 	startPS := int64(m.smDomain.Next())
 	for p := range m.parts {
@@ -611,6 +681,17 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 			canFF = false
 		}
 	}
+	// Batching additionally needs the policy's no-op-between-samples promise
+	// (BatchAware); a nil policy constrains nothing.
+	var batchAware BatchAware
+	canBatch := canFF && m.batching
+	if m.policy != nil {
+		if b, ok := m.policy.(BatchAware); ok {
+			batchAware = b
+		} else {
+			canBatch = false
+		}
+	}
 
 	var smCycle int64
 	for {
@@ -620,6 +701,13 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 				if n := m.fastForwardSpan(smNext, memNext, smCycle, aware); n >= 2 {
 					m.applyFastForward(n, int64(smNext), smCycle, aware)
 					smCycle += n
+					continue
+				}
+			}
+			if canBatch {
+				if kb := m.batchSpan(smNext, smCycle, batchAware); kb >= 2 {
+					m.applyBatch(kb, smCycle)
+					smCycle += kb
 					continue
 				}
 			}
@@ -667,7 +755,11 @@ func (m *Machine) run(tasks []Task) ([]Result, Result, error) {
 			now := m.memDomain.Tick()
 			m.afterMemLevelChange(now)
 			m.memCycle++
-			m.stepMemory(now)
+			if m.memShardable {
+				m.stepMemorySharded(now)
+			} else {
+				m.stepMemory(now)
+			}
 		}
 	}
 
@@ -913,6 +1005,173 @@ func (m *Machine) applyFastForward(n int64, firstPS, smCycle int64, aware FastFo
 	}
 }
 
+// batchSpan returns how many upcoming SM cycles starting at boundary smNext
+// can be stepped as one batched window — real Step calls with every
+// interleaved piece of coordinator work provably a no-op — or 0 when the
+// next cycle must run the full loop body. The window's legality argument
+// (DESIGN.md §9): the memory domain is idle now and no SM can touch the
+// memory boundary inside the window (BatchBound), so every interleaved
+// memory cycle is pure bookkeeping the memory branch retires in bulk
+// afterwards; no warp exits inside the window (BatchBound again) and the
+// dispatcher is frozen, so residency is constant and done()/dispatchBlocks
+// are no-ops; the policy promises no-op OnSMCycle strictly before its next
+// sample cycle, where the window is capped. smCycle is the index of the
+// last completed SM cycle.
+//
+//eqlint:hotpath
+func (m *Machine) batchSpan(smNext clock.Time, smCycle int64, batchAware BatchAware) int64 {
+	if !m.memIdle() {
+		return 0
+	}
+	k := maxInvocationCycles - smCycle
+	for _, s := range m.sms {
+		if b := s.BatchBound(); b < k {
+			if b < 2 {
+				return 0
+			}
+			k = b
+		}
+	}
+	// The dispatcher must be a no-op for the whole window. No SM wants a
+	// block now, and nothing in the window can change that: exits are
+	// excluded by BatchBound and the policy cannot retune mid-window.
+	for p := range m.parts {
+		pt := &m.parts[p]
+		if pt.nextBlock >= pt.totalBlocks {
+			continue
+		}
+		for i := pt.smLo; i < pt.smHi; i++ {
+			if m.sms[i].WantsBlock(pt.wcta) {
+				return 0
+			}
+		}
+	}
+	if m.doneWouldChange() {
+		return 0
+	}
+	// Durable-done witness: doneWouldChange is false now, but unlike a
+	// fast-forward span the SMs evolve inside the window, and an SM that is
+	// non-idle only through stale queue entries could drain to idle
+	// mid-window — done() would then stamp a finish time at a cycle we skip.
+	// Require every unfinished fully-dispatched partition to hold a resident
+	// block somewhere: residency is frozen in-window (no exits, no
+	// launches), so such a partition provably stays non-idle at every
+	// skipped done() check.
+	for p := range m.parts {
+		pt := &m.parts[p]
+		if pt.finishPS != 0 || pt.nextBlock < pt.totalBlocks {
+			continue
+		}
+		resident := false
+		for i := pt.smLo; i < pt.smHi; i++ {
+			if m.sms[i].ResidentBlocks() > 0 {
+				resident = true
+				break
+			}
+		}
+		if !resident {
+			return 0
+		}
+	}
+	period := int64(m.smDomain.CyclesToTime(1))
+	// Never tick across a pending VF switch; the boundary that applies it
+	// runs for real (and the frozen level keeps afterSMLevelChange a no-op
+	// for every windowed cycle).
+	if at, pending := m.smDomain.SwitchPending(); pending {
+		if int64(at) <= int64(smNext) {
+			return 0
+		}
+		if lim := (int64(at)-1-int64(smNext))/period + 1; lim < k {
+			k = lim
+		}
+	}
+	// A pending memory-domain VF switch caps the window at its boundary:
+	// applyBatch retires the window's idle memory cycles in bulk, and the
+	// boundary that applies a switch must run for real in the memory branch.
+	if at, pending := m.memDomain.SwitchPending(); pending {
+		if int64(at) <= int64(smNext) {
+			return 0
+		}
+		if lim := (int64(at)-int64(smNext))/period + 1; lim < k {
+			k = lim
+		}
+	}
+	// The window may end exactly at the policy's next sample cycle: the one
+	// real OnSMCycle call at the window end then runs with machine state
+	// identical to the sequential loop's.
+	if batchAware != nil {
+		if lim := batchAware.NextSampleCycle(smCycle) - smCycle; lim < k {
+			k = lim
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	return k
+}
+
+// applyBatch steps the kb-cycle window established by batchSpan: every SM
+// runs kb real cycles (one engine round when sharded), the skipped
+// coordinator work is provably no-op, and the policy's one real call lands
+// at the window's last cycle. smCycle is the index of the last completed
+// cycle; the window covers smCycle+1 .. smCycle+kb.
+//
+//eqlint:cycle-owner
+//eqlint:hotpath
+func (m *Machine) applyBatch(kb, smCycle int64) {
+	period := int64(m.smDomain.CyclesToTime(1))
+	firstPS := int64(m.smDomain.Next())
+	last := m.smDomain.TickN(kb)
+	active := 0
+	if m.engine != nil {
+		active = m.engine.dispatch(shardJob{
+			kind: shardJobStepN, period: clock.Time(period), n: kb, firstPS: firstPS,
+		})
+	} else {
+		// Sequential batching emits in exactly the per-cycle order (cycle
+		// outermost, SMs in index order), so no staging is needed.
+		for j := int64(0); j < kb; j++ {
+			now := clock.Time(firstPS + j*period)
+			for _, s := range m.sms {
+				s.Step(now, clock.Time(period))
+			}
+		}
+		for _, s := range m.sms {
+			if s.ResidentBlocks() > 0 {
+				active++
+			}
+		}
+	}
+	// Residency is frozen in-window, so the final active count holds for
+	// every batched cycle.
+	m.activeSMTimePS += period * int64(active) * kb
+	// Catch the memory domain up to the sequential interleave point: every
+	// memory boundary strictly before the window-end SM boundary would have
+	// ticked (idle, by the window's legality argument) before the SM cycle
+	// that hosts the policy's one real call. Retire them through the same
+	// bulk mechanics as the memory branch's idle span so the policy observes
+	// the clocks the per-cycle loop would show it. A boundary exactly at the
+	// window end stays pending: ties run the SM side first.
+	if memNext := int64(m.memDomain.Next()); memNext < int64(last) {
+		memPeriod := int64(m.memDomain.CyclesToTime(1))
+		k := (int64(last)-1-memNext)/memPeriod + 1
+		lastMem := m.memDomain.TickN(k)
+		m.lastMemNowPS = int64(lastMem)
+		m.dram.SkipIdle(m.memCycle+1, k)
+		m.memCycle += k
+		m.hitDelayPS = int64(lastMem) + int64(m.memDomain.CyclesToTime(m.cfg.L2HitLatency))
+	}
+	if m.policy != nil {
+		// No-op unless the window ends exactly at the policy's sample cycle
+		// (the BatchAware contract); the machine state it then observes is
+		// the sequential loop's, cycle for cycle.
+		m.policy.OnSMCycle(m, last, smCycle+kb)
+	}
+	if invariant.Enabled && (smCycle+kb)/machineCheckInterval != smCycle/machineCheckInterval {
+		m.verifyInvariants()
+	}
+}
+
 // memIdleSpan returns how many idle memory cycles starting at boundary
 // memNext fit strictly before the SM domain's next boundary and any pending
 // VF switch. The caller has established memIdle.
@@ -1066,6 +1325,87 @@ func (m *Machine) stepMemory(now clock.Time) {
 	// 4. The interconnect drains into the L2 / memory controller.
 	m.hitDelayPS = int64(now) + int64(m.memDomain.CyclesToTime(m.cfg.L2HitLatency))
 	m.net.Drain(m.drainFn)
+}
+
+// memShardMinWork is the endpoint-work threshold below which a sharded
+// memory cycle replays serially on the coordinator: waking the worker pool
+// costs two barrier rounds, which only pays for itself when several SMs
+// have deliveries or pushes to absorb. Deterministic — the count is a pure
+// function of simulation state.
+const memShardMinWork = 8
+
+// stepMemorySharded advances the memory partition by one memory-domain
+// cycle with the per-SM endpoint half (L1 fills/wakes for completed lines,
+// outbox port pushes) fanned out across the shard workers. The shared
+// phases — DRAM, L2, reply queue, interconnect drain — stay on the
+// coordinator in their sequential order; the endpoint work is staged into
+// memDeliveries in that same order, so each worker's per-SM projection
+// preserves per-SM delivery order and the merged effect is byte-identical
+// to stepMemory. Only called when memShardable (engine active, telemetry
+// mask excludes every kind the endpoint work could emit).
+//
+//eqlint:barrierphase
+//eqlint:hotpath
+func (m *Machine) stepMemorySharded(now clock.Time) {
+	m.lastMemNowPS = int64(now)
+	// 1. DRAM completions fill the L2; their waiting SM requests are staged
+	// rather than delivered.
+	m.memDeliveries = m.memDeliveries[:0]
+	for _, line := range m.dram.Step(m.memCycle) {
+		m.l2.Fill(line)
+		m.seenMem.DRAM++ // counted at service for level attribution
+		waiters := m.l2Waiters[line]
+		//eqlint:allow allocfree -- staging capacity is retained across cycles; grows only until the busiest cycle
+		m.memDeliveries = append(m.memDeliveries, waiters...)
+		delete(m.l2Waiters, line)
+		if cap(waiters) > 0 {
+			//eqlint:allow allocfree -- waiter-slice pool grows only until the busiest cycle; capacities are recycled, never dropped
+			m.l2WaiterPool = append(m.l2WaiterPool, waiters[:0])
+		}
+	}
+
+	// 2. Delayed L2 hit replies join the same staged list; both phases
+	// deliver at `now`, so one ordered list reproduces the sequential order.
+	m.l2Replies.PopReady(int64(now), m.replyStageFn)
+
+	// 3. Deliver and push — sharded when there is enough endpoint work to
+	// absorb the barrier round, serially (same staged order) otherwise.
+	work := len(m.memDeliveries)
+	for i, s := range m.sms {
+		if s.OutboxFull() && m.net.CanPush(i) {
+			work++
+		}
+	}
+	if work >= memShardMinWork {
+		pushed := m.engine.dispatch(shardJob{kind: shardJobMemEndpoints, now: now})
+		m.net.AddPushed(uint64(pushed))
+	} else {
+		for _, r := range m.memDeliveries {
+			m.sms[r.SM].DeliverLine(r.Line, now)
+		}
+		for i, s := range m.sms {
+			if s.OutboxFull() && m.net.CanPush(i) {
+				if r, ok := s.TakeOutbox(); ok {
+					m.net.Push(icnt.Request{SM: r.SM, Line: r.Line})
+				}
+			}
+		}
+	}
+
+	// 4. The interconnect drains into the L2 / memory controller.
+	m.hitDelayPS = int64(now) + int64(m.memDomain.CyclesToTime(m.cfg.L2HitLatency))
+	m.net.Drain(m.drainFn)
+}
+
+// stageReply appends one delayed L2 reply to the cycle's staged delivery
+// list; it is the body of the once-allocated replyStageFn callback. Marked
+// hotpath explicitly because the call graph cannot follow the func value
+// from stepMemorySharded.
+//
+//eqlint:hotpath
+func (m *Machine) stageReply(r icnt.Request) {
+	//eqlint:allow allocfree -- staging capacity is retained across cycles; grows only until the busiest cycle
+	m.memDeliveries = append(m.memDeliveries, r)
 }
 
 // drainRequest routes one interconnect request into the L2 / memory

@@ -1,6 +1,7 @@
 // Intra-run SM parallelism: the shard engine partitions the machine's SMs
 // across worker goroutines that step their shard for one cycle (or retire a
-// fast-forward span) and meet at a phase barrier before any shared work runs.
+// fast-forward span, or replay a batched idle window) and meet at a phase
+// barrier before any shared work runs.
 //
 // Legality: SMs interact only through the icnt/L2/DRAM boundary, which the
 // machine steps on the separately clocked memory domain, and through the
@@ -10,16 +11,27 @@
 // on the coordinating goroutine, exactly where the sequential loop runs them.
 // Telemetry is the one shared sink: each SM emits into a private stage that
 // the coordinator flushes in SM index order at the barrier, reproducing the
-// sequential loop's event interleaving byte for byte (see telemetry.NewStage).
-// Results are therefore identical at any shard count; the differential suite
-// in shard_test.go holds the engine to that.
+// sequential loop's event interleaving byte for byte (see telemetry.NewStage;
+// batched windows flush the stages through a timestamp-bounded merge so the
+// replay stays cycle-major). Results are therefore identical at any shard
+// count; the differential suite in shard_test.go holds the engine to that.
+//
+// The phase barrier itself is a sense-reversing spin-then-park barrier
+// (internal/barrier) over shards+1 parties: the coordinator publishes a job
+// in e.job, everyone meets once so the workers observe it, the workers run,
+// and everyone meets again so the coordinator observes every effect. A
+// steady-state round is two barrier waits with no scheduler involvement —
+// the channel broadcast + WaitGroup round trip this replaces cost two
+// scheduler hops per simulated cycle and kept sharded runs slower than
+// sequential on short cycles.
 package gpu
 
 import (
 	"runtime"
-	"sync"
 
+	"equalizer/internal/barrier"
 	"equalizer/internal/clock"
+	"equalizer/internal/icnt"
 )
 
 // shardJobKind selects the phase a dispatch runs on every shard.
@@ -30,56 +42,77 @@ const (
 	shardJobStep shardJobKind = iota
 	// shardJobFastForward retires a quiescent span on every SM in the shard.
 	shardJobFastForward
+	// shardJobStepN advances every SM in the shard by n real cycles under a
+	// proven-idle memory domain (idle-window batching): one barrier round
+	// covers n cycles.
+	shardJobStepN
+	// shardJobMemEndpoints runs the per-SM endpoint half of one memory-domain
+	// cycle: L1 fills/wakes for staged deliveries and outbox→icnt port pushes,
+	// each worker touching only its own SM range.
+	shardJobMemEndpoints
+	// shardJobStop terminates the workers; they exit without a done phase.
+	shardJobStop
 )
 
-// shardJob is one phase-barrier work item, broadcast to every worker.
+// shardJob is one phase-barrier work item, published in the engine's job
+// slot before the start barrier.
 type shardJob struct {
 	kind    shardJobKind
-	now     clock.Time // cycle boundary (shardJobStep)
+	now     clock.Time // cycle boundary (shardJobStep, shardJobMemEndpoints)
 	period  clock.Time // SM clock period
-	n       int64      // span length (shardJobFastForward)
-	firstPS int64      // first skipped boundary (shardJobFastForward)
+	n       int64      // span length (shardJobFastForward, shardJobStepN)
+	firstPS int64      // first boundary (shardJobFastForward, shardJobStepN)
 }
 
 // shardSlot is one worker's result cell, padded so concurrently written
 // slots never share a cache line.
 type shardSlot struct {
 	active int // SMs in the shard with resident blocks
-	_      [120]byte
+	pushed int // outbox requests port-pushed (shardJobMemEndpoints)
+	_      [112]byte
 }
 
 // ShardStats reports the shard engine's scheduling counters for one machine.
 type ShardStats struct {
 	// Shards is the configured shard count (1 = sequential engine).
 	Shards int
-	// Barriers counts phase-barrier rounds (one per parallel dispatch).
+	// Barriers counts phase-barrier rounds. A parallel dispatch costs two
+	// rounds (job publish, effect collection); engine teardown costs one.
 	Barriers uint64
-	// StepCycles counts SM-cycles advanced through shardJobStep dispatches,
-	// summed over shards.
+	// StepCycles counts SM-cycles advanced through per-cycle and batched
+	// dispatches, summed over shards.
 	StepCycles uint64
+	// BatchedCycles counts the subset of StepCycles retired through
+	// idle-window batch dispatches (shardJobStepN), summed over shards.
+	BatchedCycles uint64
 	// FastForwardCycles counts SM-cycles retired in bulk through
 	// shardJobFastForward dispatches, summed over shards.
 	FastForwardCycles uint64
+	// MemRounds counts memory-domain cycles whose endpoint work ran sharded.
+	MemRounds uint64
 	// SequentialRuns counts invocations that fell back to the sequential
 	// loop despite a shard request (policy hooks observing the SMs).
 	SequentialRuns uint64
 }
 
 // shardEngine owns the worker pool of one sharded invocation. It is created
-// at run start and stopped when the invocation returns; workers block on
-// their job channel between phases, and the coordinator's WaitGroup round
-// trip is the phase barrier (and the happens-before edge that hands the SM
-// state back to the coordinator).
+// at run start and stopped when the invocation returns; workers and the
+// coordinator meet at a spin-then-park phase barrier (the happens-before
+// edge that publishes the job to the workers and hands the SM state back to
+// the coordinator).
 type shardEngine struct {
 	m      *Machine
 	ranges [][2]int // SM index range [lo, hi) per shard
-	jobs   []chan shardJob
+	bar    *barrier.Barrier
+	job    shardJob // published by the coordinator before the start round
+	sense  uint32   // coordinator's private barrier sense
 	slots  []shardSlot
-	wg     sync.WaitGroup
 
-	barriers   uint64
-	stepCycles uint64
-	ffCycles   uint64
+	barriers      uint64
+	stepCycles    uint64
+	batchedCycles uint64
+	ffCycles      uint64
+	memRounds     uint64
 }
 
 // shardRanges splits n SMs into k contiguous, near-even ranges.
@@ -97,11 +130,10 @@ func newShardEngine(m *Machine, shards int) *shardEngine {
 	e := &shardEngine{
 		m:      m,
 		ranges: shardRanges(len(m.sms), shards),
-		jobs:   make([]chan shardJob, shards),
+		bar:    barrier.New(shards+1, barrier.DefaultSpin(shards)),
 		slots:  make([]shardSlot, shards),
 	}
-	for w := range e.jobs {
-		e.jobs[w] = make(chan shardJob, 1)
+	for w := range e.slots {
 		//eqlint:allow nodeterminism -- workers mutate disjoint SM ranges between phase barriers; every merge below is in fixed shard order
 		go e.worker(w)
 	}
@@ -109,11 +141,12 @@ func newShardEngine(m *Machine, shards int) *shardEngine {
 }
 
 // stop terminates the workers. The engine must be idle (no dispatch in
-// flight).
+// flight). Workers observing the stop job exit without a done phase, so the
+// coordinator only meets the start round.
 func (e *shardEngine) stop() {
-	for _, ch := range e.jobs {
-		close(ch)
-	}
+	e.job = shardJob{kind: shardJobStop}
+	e.bar.Wait(&e.sense)
+	e.barriers++
 }
 
 // worker steps the SMs of shard w, in index order, for every dispatched job.
@@ -126,10 +159,16 @@ func (e *shardEngine) stop() {
 //eqlint:hotpath
 func (e *shardEngine) worker(w int) {
 	lo, hi := e.ranges[w][0], e.ranges[w][1]
-	for job := range e.jobs[w] {
-		active := 0
+	var sense uint32
+	for {
+		e.bar.Wait(&sense) // start round: the coordinator's job is visible
+		job := e.job
+		if job.kind == shardJobStop {
+			return
+		}
 		switch job.kind {
 		case shardJobStep:
+			active := 0
 			for i := lo; i < hi; i++ {
 				s := e.m.sms[i]
 				s.Step(job.now, job.period)
@@ -137,7 +176,27 @@ func (e *shardEngine) worker(w int) {
 					active++
 				}
 			}
+			e.slots[w].active = active
+		case shardJobStepN:
+			// SM-outer, cycle-inner: SMs are independent for the whole
+			// window (the batch witness proves no SM touches the memory
+			// boundary), so per-SM cycle order equals the interleaved
+			// sequential order and locality is better. Residency is frozen
+			// across the window, so the active count from the final state
+			// holds for every batched cycle.
+			active := 0
+			for i := lo; i < hi; i++ {
+				s := e.m.sms[i]
+				for j := int64(0); j < job.n; j++ {
+					s.Step(clock.Time(job.firstPS+j*int64(job.period)), job.period)
+				}
+				if s.ResidentBlocks() > 0 {
+					active++
+				}
+			}
+			e.slots[w].active = active
 		case shardJobFastForward:
+			active := 0
 			for i := lo; i < hi; i++ {
 				s := e.m.sms[i]
 				s.FastForward(job.n, job.firstPS, int64(job.period))
@@ -145,17 +204,52 @@ func (e *shardEngine) worker(w int) {
 					active++
 				}
 			}
+			e.slots[w].active = active
+		case shardJobMemEndpoints:
+			e.slots[w].pushed = e.memEndpoints(lo, hi, job.now)
 		}
-		e.slots[w].active = active
-		e.wg.Done()
+		e.bar.Wait(&sense) // done round: effects published to the coordinator
 	}
 }
 
-// dispatch broadcasts one job, waits at the phase barrier, and returns the
-// machine-wide count of SMs with resident blocks. On return every SM
-// mutation made by the workers is visible to the coordinator. This is the
-// sharded loop's canonical cycle-advance site: the engine's step/ff cycle
-// tallies move only here.
+// memEndpoints runs the per-SM half of one memory-domain cycle for SMs
+// [lo, hi): deliver the cycle's staged fills/replies to their owning SMs in
+// staged (sequential) order, then drain full outboxes into the SM's private
+// icnt port. Only runs when the machine proved the cycle emission-free
+// (memShardable) — DeliverLine and PortPush then touch nothing but SM-owned
+// state and the SM's own port queue.
+//
+//eqlint:hotpath
+func (e *shardEngine) memEndpoints(lo, hi int, now clock.Time) int {
+	//eqlint:allow shardphase -- the Machine pointer is only dereferenced for SM-owned state in [lo, hi); each mutating site below carries its own per-write justification
+	m := e.m
+	for _, r := range m.memDeliveries {
+		if r.SM >= lo && r.SM < hi {
+			//eqlint:allow shardphase -- r.SM is range-checked against this worker's own shard; the staged list is read-only during the round
+			m.sms[r.SM].DeliverLine(r.Line, now)
+		}
+	}
+	pushed := 0
+	for i := lo; i < hi; i++ {
+		s := m.sms[i]
+		if s.OutboxFull() && m.net.CanPush(i) {
+			if r, ok := s.TakeOutbox(); ok {
+				//eqlint:allow shardphase -- PortPush appends only to SM i's private port queue; shared stats move via AddPushed on the coordinator
+				if m.net.PortPush(icnt.Request{SM: r.SM, Line: r.Line}) {
+					pushed++
+				}
+			}
+		}
+	}
+	return pushed
+}
+
+// dispatch publishes one job, meets the two-phase barrier, and returns the
+// machine-wide count of SMs with resident blocks (or, for memory-endpoint
+// jobs, the number of port pushes). On return every SM mutation made by the
+// workers is visible to the coordinator. This is the sharded loop's
+// canonical cycle-advance site: the engine's step/ff cycle tallies move
+// only here.
 //
 //eqlint:cycle-owner
 //eqlint:barrierphase
@@ -167,28 +261,48 @@ func (e *shardEngine) dispatch(job shardJob) int {
 	for _, st := range e.m.stages {
 		st.Buffer()
 	}
-	e.wg.Add(len(e.jobs))
-	for _, ch := range e.jobs {
-		//eqlint:allow nodeterminism -- phase-barrier broadcast; the WaitGroup round trip below serialises all effects before the coordinator resumes
-		ch <- job
-	}
-	e.wg.Wait()
-	e.barriers++
+	e.job = job
+	e.bar.Wait(&e.sense) // start round: workers wake with the job visible
+	e.bar.Wait(&e.sense) // done round: every worker effect is visible
+	e.barriers += 2
 	cycles := uint64(len(e.m.sms))
-	if job.kind == shardJobFastForward {
-		cycles *= uint64(job.n)
-		e.ffCycles += cycles
-	} else {
+	switch job.kind {
+	case shardJobFastForward:
+		e.ffCycles += cycles * uint64(job.n)
+	case shardJobStepN:
+		e.stepCycles += cycles * uint64(job.n)
+		e.batchedCycles += cycles * uint64(job.n)
+	case shardJobMemEndpoints:
+		e.memRounds++
+	default:
 		e.stepCycles += cycles
+	}
+	if job.kind == shardJobStepN {
+		// Workers stepped SM-outer, so each stage holds its SM's whole
+		// window in cycle order. Replay cycle-major, SM-minor — the
+		// sequential loop's global order — by draining each stage up to
+		// successive cycle boundaries.
+		for j := int64(0); j < job.n; j++ {
+			bound := job.firstPS + j*int64(job.period)
+			for _, st := range e.m.stages {
+				st.FlushUpTo(bound)
+			}
+		}
 	}
 	for _, st := range e.m.stages {
 		st.Flush()
 	}
-	active := 0
-	for w := range e.slots {
-		active += e.slots[w].active
+	n := 0
+	if job.kind == shardJobMemEndpoints {
+		for w := range e.slots {
+			n += e.slots[w].pushed
+		}
+	} else {
+		for w := range e.slots {
+			n += e.slots[w].active
+		}
 	}
-	return active
+	return n
 }
 
 // nextEventReduce computes the machine-wide quiescence witness as a
@@ -223,10 +337,18 @@ func (e *shardEngine) nextEventReduce() (int64, bool) {
 // a saturated worker pool (eqsimd, eqbench sweeps) gets 1 so intra-run
 // workers never oversubscribe the pool's cores.
 func AutoShards(parallelism, numSMs int) int {
+	return AutoShardsAt(runtime.GOMAXPROCS(0), parallelism, numSMs)
+}
+
+// AutoShardsAt is AutoShards with the host's scheduler width injected, so
+// callers whose worker pool can be resized at runtime (the eqsimd tuner)
+// recompute the shard width against the live pool size, and tests can probe
+// the policy with synthetic core counts.
+func AutoShardsAt(procs, parallelism, numSMs int) int {
 	if parallelism < 1 {
-		parallelism = runtime.GOMAXPROCS(0)
+		parallelism = procs
 	}
-	shards := runtime.GOMAXPROCS(0) / parallelism
+	shards := procs / parallelism
 	if shards > numSMs {
 		shards = numSMs
 	}

@@ -200,27 +200,123 @@ func TestAutoShards(t *testing.T) {
 		{16, 15, 8, 1},
 		{1, 1, 8, 1},
 	} {
-		if got := autoShardsFor(tc.parallelism, tc.numSMs, tc.gomaxprocs); got != tc.want {
-			t.Errorf("AutoShards(parallelism=%d, numSMs=%d) at GOMAXPROCS=%d = %d, want %d",
-				tc.parallelism, tc.numSMs, tc.gomaxprocs, got, tc.want)
+		if got := gpu.AutoShardsAt(tc.gomaxprocs, tc.parallelism, tc.numSMs); got != tc.want {
+			t.Errorf("AutoShardsAt(procs=%d, parallelism=%d, numSMs=%d) = %d, want %d",
+				tc.gomaxprocs, tc.parallelism, tc.numSMs, got, tc.want)
 		}
 	}
 }
 
-// autoShardsFor mirrors gpu.AutoShards with an explicit core count so the
-// table is host-independent.
-func autoShardsFor(parallelism, numSMs, cores int) int {
-	if parallelism < 1 {
-		parallelism = cores
+// TestShardedBatchingMatrix sweeps the new execution modes against the
+// ground-truth per-cycle sequential loop: shard counts × idle-window cycle
+// batching on/off × memory-domain sharding on/off, all required to be
+// byte-identical. cutcp exercises mixed compute/memory phases; lavaMD has no
+// memory instructions at all, so batching windows reach the policy's full
+// SampleInterval depth; bfs-2's shared-read-only misses merge many waiting
+// SMs onto each line fill, driving endpoint work past the memory-domain
+// dispatch threshold.
+func TestShardedBatchingMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep over the mode matrix")
 	}
-	shards := cores / parallelism
-	if shards > numSMs {
-		shards = numSMs
+	numSMs := config.Default().NumSMs
+	for _, name := range []string{"cutcp", "lavaMD", "bfs-2"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, err := kernels.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.GridBlocks = 30
+			mk := func() gpu.Policy {
+				e := core.New(core.EnergyMode)
+				e.Record = true
+				return e
+			}
+			tasks := []gpu.Task{{Kernel: k}}
+			seq := runCaptureKnobs(t, tasks, 1, mk, telemetry.MaskSpans, false, 1, false, false)
+			for _, shards := range []int{1, 2, 4, numSMs} {
+				for _, batching := range []bool{false, true} {
+					for _, memSharding := range []bool{false, true} {
+						got := runCaptureKnobs(t, tasks, 1, mk, telemetry.MaskSpans,
+							true, shards, batching, memSharding)
+						compareCaptures(t, got, seq)
+						if t.Failed() {
+							t.Fatalf("mode (shards=%d, batching=%v, memSharding=%v) diverged from sequential",
+								shards, batching, memSharding)
+						}
+					}
+				}
+			}
+		})
 	}
-	if shards < 1 {
-		shards = 1
+}
+
+// TestBatchingReducesBarrierRounds pins the tentpole's payoff on a sharded
+// compute-bound run: with idle-window batching, the engine crosses fewer
+// barrier rounds than it steps SM cycles (the per-cycle protocol costs two
+// rounds per cycle), and the batched cycles are accounted inside StepCycles.
+func TestBatchingReducesBarrierRounds(t *testing.T) {
+	k, err := kernels.ByName("lavaMD")
+	if err != nil {
+		t.Fatal(err)
 	}
-	return shards
+	k.GridBlocks = 30
+	m := newTestMachine(t, core.New(core.EnergyMode))
+	m.SetSMShards(4)
+	res, err := m.RunKernel(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := m.ShardStats()
+	if ss.BatchedCycles == 0 {
+		t.Fatal("compute-bound sharded run batched no cycles")
+	}
+	if ss.BatchedCycles > ss.StepCycles {
+		t.Errorf("BatchedCycles %d exceeds StepCycles %d (batched cycles must be counted inside StepCycles)",
+			ss.BatchedCycles, ss.StepCycles)
+	}
+	if ss.Barriers >= uint64(res.SMCycles) {
+		t.Errorf("barrier rounds %d not below SM cycles %d: batching bought nothing",
+			ss.Barriers, res.SMCycles)
+	}
+	if total := int64(ss.StepCycles + ss.FastForwardCycles); total != res.SMCycles*int64(m.NumSMs()) {
+		t.Errorf("shard cycles %d != SMCycles*NumSMs %d", total, res.SMCycles*int64(m.NumSMs()))
+	}
+}
+
+// TestMemShardingEngages verifies the memory-domain shard path actually runs
+// on a sharded kernel with fan-out-heavy fills — bfs-2's shared-read-only
+// misses merge many waiting SMs onto each line (MemRounds > 0) — and stays
+// disabled both behind the escape hatch and when the telemetry mask makes
+// endpoint delivery emission-bearing.
+func TestMemShardingEngages(t *testing.T) {
+	k, err := kernels.ByName("bfs-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.GridBlocks = 30
+	run := func(memSharding bool, mask telemetry.Mask) gpu.ShardStats {
+		m := newTestMachine(t, nil)
+		m.SetSMShards(4)
+		m.SetMemSharding(memSharding)
+		m.AttachTelemetry(telemetry.NewBus(1<<12, mask))
+		if _, err := m.RunKernel(k, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m.ShardStats()
+	}
+	if ss := run(true, telemetry.MaskSpans); ss.MemRounds == 0 {
+		t.Error("memory-heavy sharded run dispatched no memory rounds")
+	}
+	if ss := run(false, telemetry.MaskSpans); ss.MemRounds != 0 {
+		t.Errorf("escape hatch off still dispatched %d memory rounds", ss.MemRounds)
+	}
+	evictMask := telemetry.MaskSpans | telemetry.MaskOf(telemetry.KindL1Evict)
+	if ss := run(true, evictMask); ss.MemRounds != 0 {
+		t.Errorf("emission-bearing mask still dispatched %d memory rounds", ss.MemRounds)
+	}
 }
 
 // newTestMachine builds a default machine with pol.

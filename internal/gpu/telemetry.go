@@ -132,6 +132,10 @@ func (m *Machine) Collect(reg *telemetry.Registry) {
 		telemetry.Labels{"mode": "fastforward"}).Set(ss.FastForwardCycles)
 	reg.Counter("eq_shard_sequential_fallbacks_total", "sharded runs that fell back to the sequential loop (policy observation hooks)",
 		nil).Set(ss.SequentialRuns)
+	reg.Counter("eq_shard_batched_cycles_total", "SM cycles retired inside idle-window batches (one barrier round per window)",
+		nil).Set(ss.BatchedCycles)
+	reg.Counter("eq_shard_mem_rounds_total", "memory-domain cycles whose per-SM endpoint work was dispatched to shard workers",
+		nil).Set(ss.MemRounds)
 
 	if m.bus != nil {
 		reg.Counter("eq_probe_events_total", "events retained on the probe bus",

@@ -207,6 +207,7 @@ type Bus struct {
 	parent    *Bus
 	buffering bool
 	staged    []Event
+	flushed   int // staged[:flushed] already replayed by FlushUpTo
 }
 
 // NewBus builds a bus holding up to capacity events of the masked kinds.
@@ -254,11 +255,34 @@ func (b *Bus) Flush() {
 		return
 	}
 	b.buffering = false
-	for i := range b.staged {
+	for i := b.flushed; i < len(b.staged); i++ {
 		e := &b.staged[i]
 		b.parent.Emit(e.TimePS, e.Kind, e.Src, e.A, e.B)
 	}
+	b.flushed = 0
 	b.staged = b.staged[:0]
+}
+
+// FlushUpTo replays the stage's buffered events whose timestamp is <= ps
+// into the parent, in emission order, leaving the stage in staging mode and
+// the remainder buffered. The shard engine uses it to merge a batched
+// window's per-SM stages cycle-major: within one stage, batched timestamps
+// are non-decreasing (each SM steps its window cycles in order), so draining
+// every stage up to successive cycle boundaries reproduces the sequential
+// loop's cycle-major, SM-minor interleaving. No-op on a nil bus or an
+// ordinary bus.
+func (b *Bus) FlushUpTo(ps int64) {
+	if b == nil || b.parent == nil {
+		return
+	}
+	for b.flushed < len(b.staged) {
+		e := &b.staged[b.flushed]
+		if e.TimePS > ps {
+			return
+		}
+		b.parent.Emit(e.TimePS, e.Kind, e.Src, e.A, e.B)
+		b.flushed++
+	}
 }
 
 // Enabled reports whether events of kind k would be recorded. Components
@@ -352,4 +376,5 @@ func (b *Bus) Reset() {
 	b.head, b.count, b.dropped = 0, 0, 0
 	b.buffering = false
 	b.staged = b.staged[:0]
+	b.flushed = 0
 }
